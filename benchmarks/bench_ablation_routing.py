@@ -1,0 +1,91 @@
+"""Ablation: routing scheme — minimal vs provably deadlock-free tree.
+
+§4.3 routes with a deadlock-free scheme [8]; our generator verifies
+minimal routing with the channel-dependency-graph check and falls back to
+spanning-tree routing when the check fails. This ablation quantifies the
+price of that fallback (path stretch and measured latency) on the
+evaluation topologies.
+"""
+
+import pytest
+
+from repro import NOCTUA, SMI_INT, SMIProgram, noctua_torus, ring
+from repro.codegen.metadata import OpDecl
+from repro.harness import format_table
+from repro.network.routing import compute_routes, is_deadlock_free
+
+
+def average_hops(routes) -> float:
+    n = routes.topology.num_ranks
+    total = sum(
+        routes.hops(s, d) for s in range(n) for d in range(n) if s != d
+    )
+    return total / (n * (n - 1))
+
+
+def measured_latency_us(topology, scheme: str, src: int, dst: int) -> float:
+    prog = SMIProgram(topology, routing_scheme=scheme)
+    marks: dict[str, int] = {}
+
+    def sender(smi):
+        ch = smi.open_send_channel(1, SMI_INT, dst, 0)
+        yield from smi.push(ch, 1)
+
+    def receiver(smi):
+        ch = smi.open_recv_channel(1, SMI_INT, src, 0)
+        yield from smi.pop(ch)
+        marks["arrive"] = smi.cycle
+
+    prog.add_kernel(sender, rank=src, ops=[OpDecl("send", 0, SMI_INT)])
+    prog.add_kernel(receiver, rank=dst, ops=[OpDecl("recv", 0, SMI_INT)])
+    res = prog.run(max_cycles=1_000_000)
+    assert res.completed
+    return NOCTUA.cycles_to_us(marks["arrive"])
+
+
+def build_rows():
+    rows = []
+    for topology in (noctua_torus(), ring(8)):
+        for scheme in ("shortest", "tree"):
+            routes = compute_routes(topology, scheme)
+            rows.append([
+                topology.name,
+                scheme,
+                "yes" if is_deadlock_free(routes) else "NO",
+                round(average_hops(routes), 2),
+                round(measured_latency_us(topology, scheme, 0,
+                                          topology.num_ranks - 1), 3),
+            ])
+    return rows
+
+
+def test_routing_ablation_report(benchmark, capsys):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["topology", "scheme", "deadlock-free", "avg hops",
+             "latency 0->last [us]"],
+            rows, title="Ablation: routing scheme (minimal vs tree)"
+        ))
+    by_key = {(r[0], r[1]): r for r in rows}
+    # Tree routing is always verified deadlock-free.
+    for (topo, scheme), row in by_key.items():
+        if scheme == "tree":
+            assert row[2] == "yes"
+    # The fallback costs path stretch on the torus.
+    assert (by_key[("torus2x4", "tree")][3]
+            >= by_key[("torus2x4", "shortest")][3])
+    # Latency follows hop count.
+    for topo in ("torus2x4", "ring8"):
+        short = by_key[(topo, "shortest")]
+        tree = by_key[(topo, "tree")]
+        assert tree[4] >= short[4] - 0.1
+
+
+def test_bench_routing_point(benchmark):
+    hops = benchmark.pedantic(
+        lambda: average_hops(compute_routes(noctua_torus(), "tree")),
+        rounds=1, iterations=1,
+    )
+    assert hops >= 1.0

@@ -1,0 +1,90 @@
+"""Fig. 15 — stencil strong scaling (4096^2 grid, 32 iterations).
+
+Five configurations: {1, 4} memory banks x {1, 4, 8} FPGAs. Paper results:
+1.0x (254 ms), 3.5x (72 ms), 3.5x (72 ms), 12.3x (20 ms), 23.1x (11 ms).
+Regenerated from the calibrated flow model; functional correctness of the
+SPMD halo exchange is validated on the cycle simulator at a reduced grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import (
+    FIG15_POINTS,
+    StencilModel,
+    jacobi_reference,
+    run_distributed_sim,
+)
+from repro.harness import Comparison, paperdata
+from repro.network.topology import torus2d
+
+GRID = 4096
+ITERS = 32
+
+
+def build_fig15_report() -> Comparison:
+    model = StencilModel()
+    cmp = Comparison("Fig. 15: stencil strong scaling (4096^2, 32 iters)",
+                     unit="ms")
+    base = model.time_s(GRID, GRID, ITERS, 1, 1, (1, 1))
+    for p in FIG15_POINTS:
+        t = model.time_s(GRID, GRID, ITERS, p.banks, p.num_fpgas, p.rank_grid)
+        paper = paperdata.FIG15_STRONG_SCALING[p.label]
+        cmp.add(f"{p.label} time", paper["time_ms"], round(t * 1e3, 1))
+        cmp.add(f"{p.label} speedup", paper["speedup"], round(base / t, 2))
+    return cmp
+
+
+def test_fig15_report(benchmark, capsys):
+    cmp = benchmark.pedantic(build_fig15_report, rounds=1, iterations=1)
+    with capsys.disabled():
+        cmp.print()
+    for label, paper, measured, _ in cmp.rows:
+        assert measured == pytest.approx(paper, rel=0.12), label
+
+
+def test_fig15_key_shape_claims(benchmark):
+    model = benchmark.pedantic(StencilModel, rounds=1, iterations=1)
+    base = model.time_s(GRID, GRID, ITERS, 1, 1, (1, 1))
+    t_4banks = model.time_s(GRID, GRID, ITERS, 4, 1, (1, 1))
+    t_4fpgas = model.time_s(GRID, GRID, ITERS, 1, 4, (2, 2))
+    t_both = model.time_s(GRID, GRID, ITERS, 4, 4, (2, 2))
+    # "both show a nearly identical speedup of 3.5x, demonstrating that
+    # communication and computation is fully overlapped".
+    assert t_4fpgas == pytest.approx(t_4banks, rel=0.06)
+    # "we get the exact product 3.5 * 3.5 = 12.3x as speedup".
+    product = (base / t_4banks) * (base / t_4fpgas)
+    assert base / t_both == pytest.approx(product, rel=0.1)
+
+
+def test_fig15_overlap_inequality_holds_at_problem_size(benchmark):
+    # §5.4.2: the halo-overlap inequality "is easily met when tackling
+    # large problems".
+    model = benchmark.pedantic(StencilModel, rounds=1, iterations=1)
+    assert model.communication_overlapped(GRID, GRID, 4, (2, 2))
+    assert model.communication_overlapped(GRID, GRID, 4, (2, 4))
+    # ...and fails for absurdly small blocks, as the inequality predicts.
+    assert not model.communication_overlapped(64, 64, 4, (2, 4))
+
+
+def test_fig15_functional_correctness_reduced_grid(benchmark):
+    rng = np.random.default_rng(5)
+    grid = rng.normal(size=(32, 32)).astype(np.float32)
+    out, _us = benchmark.pedantic(
+        lambda: run_distributed_sim(grid, 5, (2, 2), topology=torus2d(2, 2)),
+        rounds=1, iterations=1)
+    ref = jacobi_reference(grid, 5)
+    np.testing.assert_allclose(out.astype(np.float64), ref, atol=1e-5)
+
+
+def test_bench_fig15(benchmark):
+    rng = np.random.default_rng(6)
+    grid = rng.normal(size=(24, 24)).astype(np.float32)
+
+    def run():
+        return run_distributed_sim(grid, 3, (2, 2), topology=torus2d(2, 2))
+
+    out, _us = benchmark.pedantic(run, rounds=1, iterations=1)
+    np.testing.assert_allclose(
+        out.astype(np.float64), jacobi_reference(grid, 3), atol=1e-5
+    )

@@ -1,0 +1,82 @@
+"""Fig. 16 — stencil weak scaling: average time per grid point (ns) for
+varying grid sizes, 4 memory banks, 4 vs 8 ranks, 32 iterations.
+
+Expected shape: ns/point decreases with grid size (fixed halo overheads
+amortise) and converges to a compute-bound asymptote where "8 FPGAs achieve
+a 2x speedup over 4 FPGAs".
+"""
+
+import pytest
+
+from repro.apps.stencil import StencilModel
+from repro.harness import Comparison, format_table, paperdata
+
+ITERS = 32
+
+
+def build_fig16_series() -> dict[str, dict[int, float]]:
+    model = StencilModel()
+    out4, out8 = {}, {}
+    for size in paperdata.FIG16_GRID_SIZES:
+        out4[size] = model.ns_per_point(size, size, ITERS, 4, 4, (2, 2))
+        out8[size] = model.ns_per_point(size, size, ITERS, 4, 8, (2, 4))
+    return {"4 Ranks": out4, "8 Ranks": out8}
+
+
+def test_fig16_report(benchmark, capsys):
+    series = benchmark.pedantic(build_fig16_series, rounds=1, iterations=1)
+    rows = []
+    for size in paperdata.FIG16_GRID_SIZES:
+        rows.append([
+            f"{size}x{size}",
+            paperdata.FIG16_NS_PER_POINT_4RANKS[size],
+            round(series["4 Ranks"][size], 3),
+            paperdata.FIG16_NS_PER_POINT_8RANKS[size],
+            round(series["8 Ranks"][size], 3),
+        ])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["grid", "paper 4R [ns]", "measured 4R [ns]",
+             "paper 8R [ns]", "measured 8R [ns]"],
+            rows, title="Fig. 16: stencil weak scaling (ns per grid point)"
+        ))
+
+    four = [series["4 Ranks"][s] for s in paperdata.FIG16_GRID_SIZES]
+    eight = [series["8 Ranks"][s] for s in paperdata.FIG16_GRID_SIZES]
+    # Decreasing towards an asymptote.
+    assert four == sorted(four, reverse=True)
+    assert eight == sorted(eight, reverse=True)
+    # 8 ranks beat 4 ranks at every size; ~2x at large grids (§5.4.2).
+    for a, b in zip(four, eight):
+        assert b < a
+    assert four[-1] / eight[-1] == pytest.approx(2.0, rel=0.15)
+    # Large-grid asymptote near the paper's ~1.1-1.2 ns (4 ranks).
+    assert four[-1] == pytest.approx(
+        paperdata.FIG16_NS_PER_POINT_4RANKS[16384], rel=0.25
+    )
+
+
+def test_fig16_anchor_comparison(benchmark):
+    cmp = Comparison("Fig. 16 anchors", unit="ns/point")
+    series = benchmark.pedantic(build_fig16_series, rounds=1, iterations=1)
+    for size in (1024, 4096, 16384):
+        cmp.add(f"4R {size}^2", paperdata.FIG16_NS_PER_POINT_4RANKS[size],
+                round(series["4 Ranks"][size], 3))
+        cmp.add(f"8R {size}^2", paperdata.FIG16_NS_PER_POINT_8RANKS[size],
+                round(series["8 Ranks"][size], 3))
+    # All anchors within 2x (figure values are curve reads).
+    assert cmp.max_abs_log_ratio() < 1.0
+
+
+def test_bench_fig16(benchmark):
+    model = StencilModel()
+
+    def sweep():
+        return [
+            model.ns_per_point(s, s, ITERS, 4, 8, (2, 4))
+            for s in paperdata.FIG16_GRID_SIZES
+        ]
+
+    values = benchmark.pedantic(sweep, rounds=3, iterations=2)
+    assert len(values) == len(paperdata.FIG16_GRID_SIZES)

@@ -1,0 +1,52 @@
+"""Table 1 — SMI resource consumption (interconnect + communication kernels).
+
+Regenerates both rows of Table 1 from the resource model and compares every
+cell against the paper's synthesis results (which the model must reproduce
+exactly at the calibration points).
+"""
+
+import pytest
+
+from repro.harness import Comparison, paperdata
+from repro.resources import estimate, table1
+
+
+def build_table1_report() -> Comparison:
+    cmp = Comparison("Table 1: SMI resource consumption", unit="count")
+    measured = table1()
+    for cfg_name, paper_cfg in paperdata.TABLE1.items():
+        m = measured[cfg_name]
+        for component in ("interconnect", "comm_kernels"):
+            vec = m[component]
+            for res in ("luts", "ffs", "m20ks"):
+                cmp.add(
+                    f"{cfg_name} {component} {res}",
+                    paper_cfg[component][res],
+                    getattr(vec, res),
+                )
+        for res in ("luts", "ffs", "m20ks"):
+            cmp.add(
+                f"{cfg_name} % of max {res}",
+                paper_cfg["pct"][res],
+                round(m[f"pct_{res}"], 2),
+            )
+    return cmp
+
+
+def test_table1_report(benchmark, capsys):
+    cmp = benchmark.pedantic(build_table1_report, rounds=1, iterations=1)
+    with capsys.disabled():
+        cmp.print()
+    # Absolute counts reproduce exactly; % rows within rounding.
+    for label, paper, measured, _ in cmp.rows:
+        if "% of max" in label:
+            assert measured == pytest.approx(paper, abs=0.4)
+        else:
+            assert measured == paper
+
+
+def test_bench_table1(benchmark):
+    result = benchmark.pedantic(
+        lambda: estimate(4).transport_total, rounds=3, iterations=10
+    )
+    assert result.luts == 32112

@@ -1,0 +1,33 @@
+"""Table 2 — collective support kernel resource consumption."""
+
+import pytest
+
+from repro.harness import Comparison, paperdata
+from repro.resources import table2
+
+
+def build_table2_report() -> Comparison:
+    cmp = Comparison("Table 2: collective kernel resources", unit="count")
+    measured = table2()
+    for name, paper_row in paperdata.TABLE2.items():
+        m = measured[name]
+        for res in ("luts", "ffs", "m20ks", "dsps"):
+            cmp.add(f"{name} {res}", paper_row[res], m[res])
+        cmp.add(f"{name} % LUTs", paper_row["pct_luts"], round(m["pct_luts"], 2))
+    return cmp
+
+
+def test_table2_report(benchmark, capsys):
+    cmp = benchmark.pedantic(build_table2_report, rounds=1, iterations=1)
+    with capsys.disabled():
+        cmp.print()
+    for label, paper, measured, _ in cmp.rows:
+        if "%" in label:
+            assert measured == pytest.approx(paper, abs=0.06)
+        else:
+            assert measured == paper
+
+
+def test_bench_table2(benchmark):
+    result = benchmark.pedantic(table2, rounds=3, iterations=10)
+    assert result["Broadcast"]["luts"] == 2560

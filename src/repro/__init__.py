@@ -1,0 +1,46 @@
+"""repro — reproduction of "Streaming Message Interface" (SC 2019).
+
+A cycle-level simulation of SMI's transport layer, the full SMI programming
+API (point-to-point transient channels + collectives), route generation,
+resource/host-baseline models, and the paper's applications and benchmarks.
+"""
+
+from .core import (
+    NOCTUA,
+    NOCTUA_KERNEL_CLOCKS,
+    NOCTUA_MEMORY,
+    DATATYPES,
+    OPS,
+    SMI_ADD,
+    SMI_CHAR,
+    SMI_DOUBLE,
+    SMI_FLOAT,
+    SMI_INT,
+    SMI_LONG,
+    SMI_MAX,
+    SMI_MIN,
+    SMI_SHORT,
+    ChannelError,
+    CodegenError,
+    ConfigurationError,
+    DeadlockError,
+    HardwareConfig,
+    KernelClockModel,
+    MemoryConfig,
+    MessageOverrunError,
+    ProgramResult,
+    RoutingError,
+    SimulationError,
+    SMIComm,
+    SMIContext,
+    SMIDatatype,
+    SMIError,
+    SMIOp,
+    SMIProgram,
+    TopologyError,
+    TypeMismatchError,
+)
+from .codegen import OpDecl
+from .network import Topology, bus, compute_routes, noctua_bus, noctua_torus, ring, torus2d
+
+__version__ = "1.0.0"

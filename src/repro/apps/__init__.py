@@ -1,0 +1,13 @@
+"""Distributed applications of §5.4: GESUMMV and the SPMD stencil."""
+
+from .blas import axpy_kernel, gemv_kernel, gesummv_reference
+from .gesummv import GesummvModel, run_distributed_sim as run_gesummv_distributed
+from .gesummv import run_single_sim as run_gesummv_single
+from .stencil import (
+    FIG15_POINTS,
+    STENCIL_OPS,
+    StencilConfigPoint,
+    StencilModel,
+    jacobi_reference,
+)
+from .stencil import run_distributed_sim as run_stencil_distributed

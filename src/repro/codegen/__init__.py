@@ -1,0 +1,14 @@
+"""Code generation workflow (Fig. 8): metadata extraction, transport
+generation, route generation."""
+
+from .extractor import extract_ops
+from .generator import GeneratedRank, GenerationReport, generate
+from .metadata import (
+    ALL_KINDS,
+    COLLECTIVE_KINDS,
+    P2P_KINDS,
+    OpDecl,
+    ProgramPlan,
+    RankPlan,
+)
+from .routes import generate_routes, load_routes

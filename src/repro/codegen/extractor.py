@@ -1,0 +1,176 @@
+"""Metadata extraction from kernel source (the Clang-pass analog, §4.5).
+
+"To generate the correct input to the code generator, we provide a metadata
+extractor, that parses the user's device code with Clang, finds all used SMI
+operations and extracts their metadata to a file."
+
+Here the device code is a Python generator function and the parser is the
+:mod:`ast` module: every ``open_*_channel`` call is located and its *static*
+arguments (port, datatype, reduce op) are extracted. Like the original, the
+extractor requires these to be compile-time constants — ports identify
+physical FIFOs (§2.2) — while counts, ranks and communicators stay dynamic.
+Names are resolved against the function's globals and closure, so idioms
+like ``PORT_WEST = 1`` work; anything unresolvable is a
+:class:`~repro.core.errors.CodegenError` asking for an explicit declaration.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable
+
+from ..core import datatypes as _datatypes
+from ..core import ops as _ops
+from ..core.datatypes import SMIDatatype
+from ..core.errors import CodegenError
+from ..core.ops import SMIOp
+from .metadata import OpDecl
+
+#: open call -> (kind, index of the port argument). Credited channels
+#: need both directions on their port (the reverse path carries credits).
+_OPEN_CALLS: dict[str, tuple[str, int]] = {
+    "open_send_channel": ("send", 3),
+    "open_recv_channel": ("recv", 3),
+    "open_credited_send_channel": ("send+recv", 3),
+    "open_credited_recv_channel": ("recv+send", 3),
+    "open_bcast_channel": ("bcast", 2),
+    "open_reduce_channel": ("reduce", 3),
+    "open_scatter_channel": ("scatter", 2),
+    "open_gather_channel": ("gather", 2),
+}
+
+#: keyword names accepted for the port argument, per kind.
+_PORT_KEYWORD = "port"
+_DTYPE_INDEX = 1
+_REDUCE_OP_INDEX = 2
+
+
+def _build_env(fn: Callable) -> dict:
+    env: dict = {}
+    env.update(_datatypes.DATATYPES)
+    env.update(_ops.OPS)
+    env.update(getattr(fn, "__globals__", {}))
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        for name, cell in zip(fn.__code__.co_freevars, closure):
+            try:
+                env[name] = cell.cell_contents
+            except ValueError:  # pragma: no cover - unbound cell
+                pass
+    return env
+
+
+def _resolve(node: ast.expr, env: dict, what: str, fn_name: str):
+    """Statically resolve an AST expression to a Python value."""
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id in env:
+            return env[node.id]
+    if isinstance(node, ast.Attribute):
+        base = _resolve(node.value, env, what, fn_name)
+        if base is not None and hasattr(base, node.attr):
+            return getattr(base, node.attr)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _resolve(node.operand, env, what, fn_name)
+        if isinstance(inner, (int, float)):
+            return -inner
+    raise CodegenError(
+        f"kernel {fn_name!r}: cannot statically resolve the {what} argument "
+        f"at line {getattr(node, 'lineno', '?')}; SMI ports and types must "
+        "be compile-time constants (§2.2) — pass ops=[...] explicitly if "
+        "this is generated code"
+    )
+
+
+def _argument(call: ast.Call, index: int, keyword: str) -> ast.expr | None:
+    if len(call.args) > index:
+        return call.args[index]
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    return None
+
+
+def extract_ops(fn: Callable) -> list[OpDecl]:
+    """Extract the :class:`OpDecl` set used by a kernel function."""
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise CodegenError(
+            f"cannot read source of kernel {fn.__name__!r} for metadata "
+            "extraction; pass ops=[...] explicitly"
+        ) from exc
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:  # pragma: no cover - dedent covers most cases
+        raise CodegenError(
+            f"cannot parse source of kernel {fn.__name__!r}: {exc}"
+        ) from exc
+    env = _build_env(fn)
+    decls: list[OpDecl] = []
+    seen: set[tuple] = set()
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name not in _OPEN_CALLS:
+            continue
+        kind, port_index = _OPEN_CALLS[name]
+        port_node = _argument(node, port_index, _PORT_KEYWORD)
+        if port_node is None:
+            raise CodegenError(
+                f"kernel {fn.__name__!r}: {name} call at line {node.lineno} "
+                "has no port argument"
+            )
+        port = _resolve(port_node, env, "port", fn.__name__)
+        if not isinstance(port, int):
+            raise CodegenError(
+                f"kernel {fn.__name__!r}: port argument at line "
+                f"{node.lineno} resolved to {port!r}, expected an int"
+            )
+        dtype_node = _argument(node, _DTYPE_INDEX, "dtype")
+        if dtype_node is None:
+            raise CodegenError(
+                f"kernel {fn.__name__!r}: {name} call at line {node.lineno} "
+                "has no dtype argument"
+            )
+        dtype = _resolve(dtype_node, env, "dtype", fn.__name__)
+        if not isinstance(dtype, SMIDatatype):
+            raise CodegenError(
+                f"kernel {fn.__name__!r}: dtype argument at line "
+                f"{node.lineno} resolved to {dtype!r}, expected an "
+                "SMIDatatype"
+            )
+        reduce_op = None
+        if kind == "reduce":
+            op_node = _argument(node, _REDUCE_OP_INDEX, "op")
+            if op_node is None:
+                raise CodegenError(
+                    f"kernel {fn.__name__!r}: reduce open at line "
+                    f"{node.lineno} has no op argument"
+                )
+            reduce_op = _resolve(op_node, env, "reduce op", fn.__name__)
+            if not isinstance(reduce_op, SMIOp):
+                raise CodegenError(
+                    f"kernel {fn.__name__!r}: reduce op at line "
+                    f"{node.lineno} resolved to {reduce_op!r}, expected an "
+                    "SMIOp"
+                )
+        for one_kind in kind.split("+"):
+            key = (one_kind, port, dtype.name,
+                   reduce_op.name if reduce_op else None)
+            if key in seen:
+                continue
+            seen.add(key)
+            decls.append(OpDecl(kind=one_kind, port=port, dtype=dtype,
+                                reduce_op=reduce_op))
+    return decls

@@ -1,0 +1,38 @@
+"""SMI core: the public API of the streaming message interface."""
+
+from .channel import RecvChannel, SendChannel
+from .coll_channels import BcastChannel, GatherChannel, ReduceChannel, ScatterChannel
+from .comm import SMIComm
+from .config import (
+    NOCTUA,
+    NOCTUA_KERNEL_CLOCKS,
+    NOCTUA_MEMORY,
+    HardwareConfig,
+    KernelClockModel,
+    MemoryConfig,
+)
+from .context import SMIContext
+from .datatypes import (
+    DATATYPES,
+    SMI_CHAR,
+    SMI_DOUBLE,
+    SMI_FLOAT,
+    SMI_INT,
+    SMI_LONG,
+    SMI_SHORT,
+    SMIDatatype,
+)
+from .errors import (
+    ChannelError,
+    CodegenError,
+    ConfigurationError,
+    DeadlockError,
+    MessageOverrunError,
+    RoutingError,
+    SimulationError,
+    SMIError,
+    TopologyError,
+    TypeMismatchError,
+)
+from .ops import OPS, SMI_ADD, SMI_MAX, SMI_MIN, SMIOp
+from .program import KernelSpec, ProgramResult, SMIProgram

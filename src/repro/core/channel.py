@@ -1,0 +1,209 @@
+"""Transient channels and the Push/Pop primitives (§3.1).
+
+"Point-to-point communication in SMI codes is based on transient channels:
+when established, a streaming interface is exposed at the specified port at
+either end, allowing data to be streamed across the network using FIFO
+semantics." Channels are plain descriptors — creating one is a zero-overhead
+operation (§3.3); the data path is the per-element Push/Pop pair, which is
+pipelineable to one element per clock cycle.
+
+Vectorised variants (``push_vec``/``pop_vec``) model a widened application
+datapath (an HLS kernel pushing a vector type): ``width`` elements move per
+cycle. They are used where the paper's kernels are vectorised (the
+bandwidth benchmark saturating the link, the multi-bank stencil).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..network.packet import OpType
+from ..simulation.conditions import TICK
+from ..simulation.fifo import Fifo
+from ..transport.packing import PacketPacker
+from .comm import SMIComm
+from .datatypes import SMIDatatype
+from .errors import ChannelError, MessageOverrunError, TypeMismatchError
+
+
+class SendChannel:
+    """Descriptor of an open send channel (``SMI_Open_send_channel``)."""
+
+    def __init__(
+        self,
+        count: int,
+        dtype: SMIDatatype,
+        src_global: int,
+        dst_global: int,
+        port: int,
+        comm: SMIComm,
+        endpoint: Fifo,
+    ) -> None:
+        if count < 0:
+            raise ChannelError(f"message count must be >= 0: {count}")
+        self.count = count
+        self.dtype = dtype
+        self.port = port
+        self.comm = comm
+        self.endpoint = endpoint
+        self._packer = PacketPacker(src_global, dst_global, port, dtype)
+        self._sent = 0
+
+    @property
+    def closed(self) -> bool:
+        """Channels close implicitly after ``count`` elements (§3.1.1)."""
+        return self._sent >= self.count
+
+    @property
+    def elements_sent(self) -> int:
+        return self._sent
+
+    def _check_open(self, n: int = 1) -> None:
+        if self._sent + n > self.count:
+            raise MessageOverrunError(
+                f"push of {n} element(s) exceeds the channel's declared "
+                f"count {self.count} (already sent {self._sent})"
+            )
+
+    def _stage_packet(self, pkt) -> Generator:
+        while not self.endpoint.writable:
+            yield self.endpoint.can_push
+        self.endpoint.stage(pkt)
+
+    def push(self, value) -> Generator:
+        """``SMI_Push``: blocking, one element, pipelineable to II=1."""
+        self._check_open()
+        pkt = self._packer.add(value)
+        self._sent += 1
+        if pkt is None and self._sent == self.count:
+            pkt = self._packer.flush()
+        if pkt is not None:
+            yield from self._stage_packet(pkt)
+        yield TICK
+
+    def push_vec(self, values, width: int | None = None) -> Generator:
+        """Push many elements, ``width`` of them per cycle."""
+        values = np.asarray(values, dtype=self.dtype.np_dtype)
+        self._check_open(len(values))
+        width = width if width is not None else len(values)
+        if width < 1:
+            raise ChannelError("vector width must be >= 1")
+        for start in range(0, len(values), width):
+            chunk = values[start : start + width]
+            for v in chunk:
+                pkt = self._packer.add(v)
+                self._sent += 1
+                if pkt is None and self._sent == self.count:
+                    pkt = self._packer.flush()
+                if pkt is not None:
+                    yield from self._stage_packet(pkt)
+            yield TICK
+
+
+class RecvChannel:
+    """Descriptor of an open receive channel (``SMI_Open_recv_channel``)."""
+
+    def __init__(
+        self,
+        count: int,
+        dtype: SMIDatatype,
+        src_global: int,
+        dst_global: int,
+        port: int,
+        comm: SMIComm,
+        endpoint: Fifo,
+    ) -> None:
+        if count < 0:
+            raise ChannelError(f"message count must be >= 0: {count}")
+        self.count = count
+        self.dtype = dtype
+        self.source_global = src_global
+        self.port = port
+        self.comm = comm
+        self.endpoint = endpoint
+        self._received = 0
+        self._current = None
+        self._offset = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._received >= self.count
+
+    @property
+    def elements_received(self) -> int:
+        return self._received
+
+    def _next_packet(self) -> Generator:
+        while not self.endpoint.readable:
+            yield self.endpoint.can_pop
+        pkt = self.endpoint.take()
+        if pkt.op != OpType.DATA:
+            raise ChannelError(
+                f"recv channel on port {self.port}: unexpected control "
+                f"packet {pkt!r}"
+            )
+        if pkt.dtype is not None and pkt.dtype != self.dtype:
+            raise TypeMismatchError(
+                f"port {self.port}: channel opened with {self.dtype.name} "
+                f"but packet carries {pkt.dtype.name} (§3.1.1 requires "
+                "matching types)"
+            )
+        if pkt.src != self.source_global:
+            raise ChannelError(
+                f"port {self.port}: expected data from global rank "
+                f"{self.source_global}, got rank {pkt.src} — two senders "
+                "on one port?"
+            )
+        self._current = pkt
+        self._offset = 0
+
+    def pop(self) -> Generator:
+        """``SMI_Pop``: blocking, one element, pipelineable to II=1."""
+        if self._received >= self.count:
+            raise MessageOverrunError(
+                f"pop beyond the channel's declared count {self.count}"
+            )
+        if self._current is None:
+            yield from self._next_packet()
+        pkt = self._current
+        value = pkt.payload[self._offset]
+        self._offset += 1
+        self._received += 1
+        if self._offset >= pkt.count:
+            self._current = None
+        yield TICK
+        return value
+
+    def pop_vec(self, n: int, width: int | None = None) -> Generator:
+        """Pop ``n`` elements, ``width`` per cycle; returns an ndarray."""
+        if self._received + n > self.count:
+            raise MessageOverrunError(
+                f"pop of {n} exceeds declared count {self.count} "
+                f"(already received {self._received})"
+            )
+        width = width if width is not None else n
+        if width < 1:
+            raise ChannelError("vector width must be >= 1")
+        out = np.empty(n, dtype=self.dtype.np_dtype)
+        got = 0
+        in_cycle = 0
+        while got < n:
+            if self._current is None:
+                yield from self._next_packet()
+            pkt = self._current
+            take = min(n - got, pkt.count - self._offset, width - in_cycle)
+            out[got : got + take] = pkt.payload[self._offset : self._offset + take]
+            self._offset += take
+            got += take
+            self._received += take
+            in_cycle += take
+            if self._offset >= pkt.count:
+                self._current = None
+            if in_cycle >= width:
+                yield TICK
+                in_cycle = 0
+        if in_cycle:
+            yield TICK
+        return out

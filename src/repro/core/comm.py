@@ -1,0 +1,69 @@
+"""Communicators (§3.1–3.2).
+
+"Analogously to MPI, communicators can be established at runtime, and allow
+communication to be further organized into logical groups." A communicator
+is an ordered set of global ranks; all rank arguments of the SMI API
+(destination, source, root) are communicator-relative, and the transport
+works in global ranks — the channel layer translates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SMIComm:
+    """An ordered group of global ranks."""
+
+    ranks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            raise ConfigurationError("communicator cannot be empty")
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ConfigurationError(
+                f"communicator contains duplicate ranks: {self.ranks}"
+            )
+        if any(r < 0 for r in self.ranks):
+            raise ConfigurationError("communicator ranks must be >= 0")
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator (``SMI_Comm_size``)."""
+        return len(self.ranks)
+
+    def comm_rank_of(self, global_rank: int) -> int:
+        """Communicator-relative rank of a global rank (``SMI_Comm_rank``)."""
+        try:
+            return self.ranks.index(global_rank)
+        except ValueError:
+            raise ConfigurationError(
+                f"global rank {global_rank} is not in communicator "
+                f"{self.ranks}"
+            ) from None
+
+    def global_rank(self, comm_rank: int) -> int:
+        """Global rank of a communicator-relative rank."""
+        if not 0 <= comm_rank < len(self.ranks):
+            raise ConfigurationError(
+                f"comm rank {comm_rank} out of range [0, {len(self.ranks)})"
+            )
+        return self.ranks[comm_rank]
+
+    def contains(self, global_rank: int) -> bool:
+        return global_rank in self.ranks
+
+    def sub(self, comm_ranks) -> "SMIComm":
+        """A sub-communicator from communicator-relative rank indices."""
+        return SMIComm(tuple(self.global_rank(i) for i in comm_ranks))
+
+    @classmethod
+    def world(cls, num_ranks: int) -> "SMIComm":
+        """The world communicator over ``num_ranks`` global ranks."""
+        return cls(tuple(range(num_ranks)))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SMIComm{self.ranks}"

@@ -1,0 +1,235 @@
+"""Hardware configuration for the simulated SMI platform.
+
+The paper's experimental platform (§5.1) is the Noctua cluster: Nallatech 520N
+boards with a Stratix 10 GX2800, four 40 Gbit/s QSFP network ports exposed to
+HLS as 256-bit I/O channels, and hosts connected by 100 Gbit/s Omni-Path.
+
+All timing calibration constants for the cycle-level simulator live here, in
+one :class:`HardwareConfig` dataclass, so every benchmark states exactly which
+platform model it ran on. The defaults model Noctua:
+
+* **Clocks.** The BSP's 256-bit I/O channel moves one 32-byte packet per
+  *link slot*; at the QSFP line rate of 40 Gbit/s that is one packet every
+  6.4 ns. HLS transport kernels close timing well above that: we model the
+  kernel clock at 312.5 MHz with ``link_cycles_per_packet = 2``, so a link
+  still carries exactly 40 Gbit/s raw (35 Gbit/s payload — "35Gbit/s when
+  taking the 4 B header of each network packet into account", §5.3.1),
+  while a CKS has ~2 cycles of headroom per packet. This headroom is what
+  lets R-burst polling (R=8 spends 8 of every 12 cycles on one input)
+  still saturate a single stream at >90% of link payload rate, consistent
+  with Fig. 9 *and* Table 4 simultaneously.
+* **Per-hop link latency**: calibrated against Table 3. SMI latency grows
+  by ~0.72 us per hop ((5.103-0.801)/6 us between 1 and 7 hops), i.e. ~224
+  kernel cycles; ``link_latency_cycles`` covers the wire/SerDes part and
+  the CK traversal adds the rest. The remaining 1-hop cycles come from the
+  endpoint stack (``endpoint_latency_cycles`` of HLS interface pipelining
+  at each end, packing, endpoint FIFOs), which the simulator models
+  explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigurationError
+
+#: Transport kernel clock frequency (Hz).
+DEFAULT_CLOCK_HZ = 312.5e6
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Parameters of the simulated multi-FPGA platform.
+
+    Attributes
+    ----------
+    clock_hz:
+        Transport/application kernel clock frequency.
+    link_cycles_per_packet:
+        Kernel cycles per 32-byte link slot; clock_hz * 32 B /
+        link_cycles_per_packet is the raw QSFP rate (40 Gbit/s default).
+    link_latency_cycles:
+        Cycles a packet spends in flight on an inter-FPGA link
+        (serialization + SerDes + board traces). Calibrated to Table 3.
+    endpoint_latency_cycles:
+        Pipeline latency of the HLS interface between an application
+        endpoint and its CKS/CKR (part of the Table 3 calibration).
+    num_interfaces:
+        Number of QSFP network ports per FPGA (the 520N exposes 4), i.e.
+        the number of CKS/CKR pairs instantiated by the transport.
+    read_burst (R):
+        The polling parameter of §4.3: a CKS/CKR keeps reading from the same
+        input connection up to R packets while data is available, before
+        polling the next connection.
+    endpoint_fifo_depth:
+        Depth, in packets, of the FIFO between an application endpoint and
+        its CKS/CKR. This realises the channel "asynchronicity degree"
+        k = depth * elements_per_packet of §3.3. Programs must not rely on
+        it for correctness (deadlock freedom), only for performance.
+    inter_ck_fifo_depth:
+        Depth, in packets, of FIFOs between communication kernels
+        (CKS<->CKS, CKR<->CKR, CKR<->CKS pairs).
+    reduce_credits:
+        C of §4.4: the number of *elements* of accumulation buffer at the
+        Reduce root. The root releases new credits to all ranks each time a
+        full tile of C elements has been combined and drained.
+    max_ranks:
+        The 1-byte packet header limits ranks (and ports) to 256 (§4.2).
+    max_ports:
+        Maximum distinct communication endpoints per rank (1-byte header).
+    """
+
+    clock_hz: float = DEFAULT_CLOCK_HZ
+    link_cycles_per_packet: int = 2
+    link_latency_cycles: int = 219
+    endpoint_latency_cycles: int = 14
+    num_interfaces: int = 4
+    read_burst: int = 8
+    endpoint_fifo_depth: int = 8
+    inter_ck_fifo_depth: int = 8
+    reduce_credits: int = 256
+    max_ranks: int = 256
+    max_ports: int = 256
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError(f"clock_hz must be positive: {self.clock_hz}")
+        if self.link_cycles_per_packet < 1:
+            raise ConfigurationError(
+                f"link_cycles_per_packet must be >= 1: {self.link_cycles_per_packet}"
+            )
+        if self.link_latency_cycles < 0:
+            raise ConfigurationError(
+                f"link_latency_cycles must be >= 0: {self.link_latency_cycles}"
+            )
+        if self.endpoint_latency_cycles < 1:
+            raise ConfigurationError(
+                f"endpoint_latency_cycles must be >= 1: {self.endpoint_latency_cycles}"
+            )
+        if not 1 <= self.num_interfaces <= 8:
+            raise ConfigurationError(
+                f"num_interfaces must be in [1, 8]: {self.num_interfaces}"
+            )
+        if self.read_burst < 1:
+            raise ConfigurationError(f"read_burst (R) must be >= 1: {self.read_burst}")
+        for name in ("endpoint_fifo_depth", "inter_ck_fifo_depth", "reduce_credits"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.max_ranks > 256 or self.max_ports > 256:
+            raise ConfigurationError(
+                "packet header encodes rank/port in 1 byte each; max is 256"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1.0 / self.clock_hz
+
+    @property
+    def link_raw_bandwidth_bps(self) -> float:
+        """Raw link bandwidth in bits/s (32 B per link slot)."""
+        return 32 * 8 * self.clock_hz / self.link_cycles_per_packet
+
+    @property
+    def link_payload_bandwidth_bps(self) -> float:
+        """Peak payload bandwidth in bits/s (28 of 32 B are payload)."""
+        return 28 * 8 * self.clock_hz / self.link_cycles_per_packet
+
+    def cycles_to_seconds(self, cycles: int | float) -> float:
+        """Convert a cycle count to wall-clock seconds at this clock."""
+        return cycles / self.clock_hz
+
+    def cycles_to_us(self, cycles: int | float) -> float:
+        """Convert a cycle count to microseconds at this clock."""
+        return cycles / self.clock_hz * 1e6
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        """Convert wall-clock seconds to (rounded) cycles at this clock."""
+        return round(seconds * self.clock_hz)
+
+    def with_(self, **kwargs) -> "HardwareConfig":
+        """Return a copy with some fields replaced (convenience)."""
+        return replace(self, **kwargs)
+
+
+#: The default platform model: Noctua's Nallatech 520N boards (§5.1).
+NOCTUA = HardwareConfig()
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Off-chip DRAM model of one FPGA board (used by the applications).
+
+    The 520N carries 4 banks of DDR4. The applications in §5.4 are
+    memory-bound; their performance is set by how many banks a kernel reads
+    from and at what effective rate.
+
+    Attributes
+    ----------
+    num_banks:
+        DDR banks per FPGA.
+    bank_width_elements:
+        Elements of 4 B deliverable per bank per kernel cycle (the stencil
+        kernels read "16 elements per cycle from a single DDR bank", §5.4.2).
+    gesummv_stream_bandwidth_Bps:
+        Effective sequential-read bandwidth available to one GEMV kernel
+        using the whole board (calibrated to Fig. 13: N=4096 distributed
+        GESUMMV takes 2.8 ms for a 64 MiB matrix => ~24 GB/s).
+    """
+
+    num_banks: int = 4
+    bank_width_elements: int = 16
+    gesummv_stream_bandwidth_Bps: float = 24.0e9
+
+    def __post_init__(self) -> None:
+        if self.num_banks < 1:
+            raise ConfigurationError("num_banks must be >= 1")
+        if self.bank_width_elements < 1:
+            raise ConfigurationError("bank_width_elements must be >= 1")
+        if self.gesummv_stream_bandwidth_Bps <= 0:
+            raise ConfigurationError("gesummv_stream_bandwidth_Bps must be > 0")
+
+
+#: Default board memory model (Nallatech 520N, 4x DDR4 banks).
+NOCTUA_MEMORY = MemoryConfig()
+
+
+@dataclass(frozen=True)
+class KernelClockModel:
+    """Application-kernel fmax as a function of datapath width.
+
+    Wider HLS datapaths close timing at lower frequencies. The paper's
+    stencil kernels read 16 elements/cycle (1 bank) or 64 elements/cycle
+    (4 banks); calibrating against Fig. 15 (254 ms and 72 ms for a 4096^2
+    grid, 32 iterations) yields ~132 MHz and ~116.5 MHz respectively.
+    """
+
+    fmax_by_width_hz: dict[int, float] = field(
+        default_factory=lambda: {16: 132.0e6, 64: 116.5e6}
+    )
+    default_fmax_hz: float = 156.25e6
+
+    def fmax(self, width_elements: int) -> float:
+        """Clock frequency for a kernel with the given datapath width."""
+        if width_elements in self.fmax_by_width_hz:
+            return self.fmax_by_width_hz[width_elements]
+        # Interpolate in log-width space between known points; clamp outside.
+        known = sorted(self.fmax_by_width_hz.items())
+        if not known:
+            return self.default_fmax_hz
+        if width_elements <= known[0][0]:
+            return known[0][1]
+        if width_elements >= known[-1][0]:
+            return known[-1][1]
+        for (w0, f0), (w1, f1) in zip(known, known[1:]):
+            if w0 <= width_elements <= w1:
+                frac = (width_elements - w0) / (w1 - w0)
+                return f0 + frac * (f1 - f0)
+        return self.default_fmax_hz  # pragma: no cover - unreachable
+
+
+#: Default application kernel clock model, calibrated to Fig. 15.
+NOCTUA_KERNEL_CLOCKS = KernelClockModel()

@@ -1,0 +1,119 @@
+"""Credit-based point-to-point flow control (§3.3's rendezvous protocol).
+
+"If the buffer size is smaller than the message size, a transmission
+protocol with credit-based flow control must be used between the two
+application endpoints, to guarantee that the communication occurring on a
+transient channel will not block the transmission of other streaming
+messages."
+
+The eager protocol pushes packets as long as *any* downstream buffer has
+space; when the receiver stalls, the message backs up through the shared
+CKR/CKS FIFOs and head-of-line-blocks every other stream crossing the same
+interface. The credited protocol bounds the sender to a window of packets
+acknowledged by the receiver, so a stalled receiver quietly idles its
+sender instead of clogging the network (demonstrated in
+``tests/test_credited_p2p.py``).
+
+Wire protocol: the receiver returns one CREDIT packet per ``batch``
+consumed data packets, carrying the batch size implicitly (both ends
+derive window and batch from the channel parameters). The reverse path
+uses the same port — a credited channel therefore requires both a send and
+a receive endpoint on its port at *both* ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..network.packet import OpType, Packet
+from ..simulation.conditions import TICK
+from ..simulation.fifo import Fifo
+from .channel import RecvChannel, SendChannel
+from .comm import SMIComm
+from .datatypes import SMIDatatype
+from .errors import ChannelError
+
+
+class CreditedSendChannel(SendChannel):
+    """A send channel that respects a receiver-granted packet window."""
+
+    def __init__(
+        self,
+        count: int,
+        dtype: SMIDatatype,
+        src_global: int,
+        dst_global: int,
+        port: int,
+        comm: SMIComm,
+        endpoint: Fifo,
+        credit_endpoint: Fifo,
+        window_packets: int,
+    ) -> None:
+        super().__init__(count, dtype, src_global, dst_global, port, comm,
+                         endpoint)
+        if window_packets < 1:
+            raise ChannelError("credit window must be >= 1 packet")
+        self.credit_endpoint = credit_endpoint
+        self.window_packets = window_packets
+        self.batch = max(1, window_packets // 2)
+        self._credits = window_packets
+
+    def _drain_credits(self) -> None:
+        while self.credit_endpoint.readable:
+            pkt = self.credit_endpoint.take()
+            if pkt.op != OpType.CREDIT:
+                raise ChannelError(
+                    f"credited send on port {self.port}: unexpected "
+                    f"{pkt!r} on the credit path"
+                )
+            self._credits += self.batch
+
+    def _stage_packet(self, pkt) -> Generator:
+        # Spend one credit per packet; block (without occupying any
+        # network resource) until the receiver acknowledges progress.
+        self._drain_credits()
+        while self._credits == 0:
+            yield self.credit_endpoint.can_pop
+            self._drain_credits()
+        self._credits -= 1
+        while not self.endpoint.writable:
+            yield self.endpoint.can_push
+        self.endpoint.stage(pkt)
+
+
+class CreditedRecvChannel(RecvChannel):
+    """A receive channel that returns credits as it consumes packets."""
+
+    def __init__(
+        self,
+        count: int,
+        dtype: SMIDatatype,
+        src_global: int,
+        dst_global: int,
+        port: int,
+        comm: SMIComm,
+        endpoint: Fifo,
+        credit_endpoint: Fifo,
+        window_packets: int,
+    ) -> None:
+        super().__init__(count, dtype, src_global, dst_global, port, comm,
+                         endpoint)
+        if window_packets < 1:
+            raise ChannelError("credit window must be >= 1 packet")
+        self.credit_endpoint = credit_endpoint
+        self.my_global = dst_global
+        self.window_packets = window_packets
+        self.batch = max(1, window_packets // 2)
+        self._consumed_since_credit = 0
+
+    def _next_packet(self) -> Generator:
+        yield from super()._next_packet()
+        self._consumed_since_credit += 1
+        if self._consumed_since_credit >= self.batch:
+            self._consumed_since_credit = 0
+            credit = Packet(src=self.my_global, dst=self.source_global,
+                            port=self.port, op=OpType.CREDIT)
+            while not self.credit_endpoint.writable:
+                yield self.credit_endpoint.can_push
+            self.credit_endpoint.stage(credit)
+            yield TICK

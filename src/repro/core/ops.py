@@ -1,0 +1,73 @@
+"""Reduction operations for ``SMI_Reduce`` (§3.2).
+
+The paper names ``SMI_ADD``, ``SMI_MAX`` and ``SMI_MIN``; all are associative
+and commutative, which the Reduce protocol exploits: the root may combine
+per-rank contributions in any arrival order (§3.3). Each op carries its
+identity element so the root can initialise its credit-buffer tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SMIOp:
+    """An associative, commutative elementwise reduction operator.
+
+    ``fn`` must accept two NumPy arrays (or scalars) and return their
+    elementwise combination; ``identity`` is the neutral element under ``fn``.
+    """
+
+    name: str
+    fn: Callable = field(repr=False)
+    identity: float
+
+    def combine(self, a, b):
+        """Elementwise combination of two contributions."""
+        return self.fn(a, b)
+
+    def identity_array(self, count: int, np_dtype) -> np.ndarray:
+        """An array of ``count`` identity elements of the given dtype."""
+        dtype = np.dtype(np_dtype)
+        if np.isinf(self.identity) and not np.issubdtype(dtype, np.floating):
+            # Integer dtypes cannot hold +/-inf; use the dtype's extreme value.
+            info = np.iinfo(dtype)
+            value = info.min if self.identity < 0 else info.max
+            return np.full(count, value, dtype=dtype)
+        return np.full(count, self.identity, dtype=dtype)
+
+    def reduce_many(self, contributions: list[np.ndarray]) -> np.ndarray:
+        """Fold a list of equally-shaped contributions with this op."""
+        if not contributions:
+            raise ConfigurationError("reduce_many needs at least one array")
+        out = np.asarray(contributions[0]).copy()
+        for contrib in contributions[1:]:
+            out = self.fn(out, contrib)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SMIOp({self.name})"
+
+
+SMI_ADD = SMIOp("SMI_ADD", np.add, 0.0)
+SMI_MAX = SMIOp("SMI_MAX", np.maximum, -np.inf)
+SMI_MIN = SMIOp("SMI_MIN", np.minimum, np.inf)
+
+#: All built-in reduction ops, keyed by name.
+OPS: dict[str, SMIOp] = {op.name: op for op in (SMI_ADD, SMI_MAX, SMI_MIN)}
+
+
+def op_by_name(name: str) -> SMIOp:
+    """Look up a built-in reduction op by its ``SMI_*`` name."""
+    try:
+        return OPS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown SMI op {name!r}; known: {sorted(OPS)}"
+        ) from None

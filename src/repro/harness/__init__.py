@@ -1,0 +1,15 @@
+"""Benchmark harness: paper data, runners, and report formatting."""
+
+from . import paperdata
+from .reporting import Comparison, format_table
+from .runners import (
+    SIM_ELEMENT_LIMIT,
+    SweepPoint,
+    bandwidth_sweep,
+    collective_sweep,
+    host_bandwidth_sweep,
+    host_collective_sweep,
+    measure_injection_cycles,
+    measure_pingpong_us,
+    measure_stream_sim,
+)

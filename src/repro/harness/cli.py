@@ -1,0 +1,129 @@
+"""Experiment CLI: regenerate any paper table/figure from the command line.
+
+Usage::
+
+    smi-bench table1|table2|table3|table4|fig9|fig10|fig11|fig13|fig15|fig16
+    smi-bench all            # everything (slowest)
+    smi-bench fig9 --full    # include paper-scale model-only points
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+EXPERIMENTS = (
+    "table1", "table2", "table3", "table4",
+    "fig9", "fig10", "fig11", "fig13", "fig15", "fig16",
+)
+
+
+def run_experiment(name: str) -> None:
+    # Imports are local so each invocation only pays for what it runs.
+    if name == "table1":
+        import importlib
+
+        mod = importlib.import_module("bench_table1_resources")
+        mod.build_table1_report().print()
+    elif name == "table2":
+        import importlib
+
+        mod = importlib.import_module("bench_table2_collective_resources")
+        mod.build_table2_report().print()
+    elif name == "table3":
+        import importlib
+
+        mod = importlib.import_module("bench_table3_latency")
+        mod.build_table3_report().print()
+    elif name == "table4":
+        import importlib
+
+        mod = importlib.import_module("bench_table4_injection")
+        mod.build_table4_report().print()
+    elif name == "fig9":
+        import importlib
+
+        mod = importlib.import_module("bench_fig9_bandwidth")
+        _print_series(mod.build_fig9_series(), mod.sweep_sizes(), "bytes",
+                      "Fig. 9: bandwidth [Gbit/s]")
+    elif name == "fig10":
+        import importlib
+
+        mod = importlib.import_module("bench_fig10_bcast")
+        _print_series(mod.build_fig10_series(), mod.sweep_sizes(), "elems",
+                      "Fig. 10: Bcast time [usec]")
+    elif name == "fig11":
+        import importlib
+
+        mod = importlib.import_module("bench_fig11_reduce")
+        _print_series(mod.build_fig11_series(), mod.sweep_sizes(), "elems",
+                      "Fig. 11: Reduce time [usec]")
+    elif name == "fig13":
+        import importlib
+
+        mod = importlib.import_module("bench_fig13_gesummv")
+        mod.build_fig13_report().print()
+    elif name == "fig15":
+        import importlib
+
+        mod = importlib.import_module("bench_fig15_stencil_strong")
+        mod.build_fig15_report().print()
+    elif name == "fig16":
+        import importlib
+
+        mod = importlib.import_module("bench_fig16_stencil_weak")
+        from .paperdata import FIG16_GRID_SIZES
+        from .reporting import format_table
+
+        series = mod.build_fig16_series()
+        rows = [
+            [f"{s}x{s}", round(series["4 Ranks"][s], 3),
+             round(series["8 Ranks"][s], 3)]
+            for s in FIG16_GRID_SIZES
+        ]
+        print(format_table(["grid", "4 ranks [ns/pt]", "8 ranks [ns/pt]"],
+                           rows, title="Fig. 16: stencil weak scaling"))
+    else:  # pragma: no cover - guarded by argparse choices
+        raise ValueError(name)
+
+
+def _print_series(series: dict, sizes: list[int], size_label: str,
+                  title: str) -> None:
+    from .reporting import format_table
+
+    rows = [
+        [size] + [f"{series[k][i].value:,.2f} ({series[k][i].source})"
+                  for k in series]
+        for i, size in enumerate(sizes)
+    ]
+    print(format_table([size_label] + list(series), rows, title=title))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="smi-bench",
+        description="Regenerate the SMI paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    parser.add_argument("--full", action="store_true",
+                        help="extend sweeps to paper-scale sizes "
+                             "(model-backed points)")
+    args = parser.parse_args(argv)
+    if args.full:
+        os.environ["REPRO_FULL_SWEEP"] = "1"
+    # The benchmark modules live in benchmarks/, importable from the repo
+    # root; fall back gracefully when invoked from elsewhere.
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    bench_dir = os.path.join(here, "benchmarks")
+    if os.path.isdir(bench_dir) and bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        run_experiment(name)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""Measurement runners shared by the benchmark suite and the CLI.
+
+Each runner regenerates one experiment: it executes the cycle simulator up
+to a size threshold, extends the sweep with the validated analytical model
+where cycle simulation would be too slow (points are labelled ``sim`` /
+``model``), adds the host-baseline curve, and returns rows ready for a
+paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..codegen.metadata import OpDecl
+from ..core.config import NOCTUA, HardwareConfig
+from ..core.datatypes import SMI_FLOAT, SMI_INT, SMIDatatype
+from ..core.program import SMIProgram
+from ..hostexec import NOCTUA_HOST, HostPathModel
+from ..network.topology import Topology, noctua_bus, noctua_torus, torus2d
+from ..perfmodel import (
+    bcast_cycles,
+    p2p_bandwidth_gbps,
+    p2p_stream,
+    reduce_cycles,
+)
+
+#: Element-count threshold above which sweeps switch from the cycle
+#: simulator to the validated analytical model.
+SIM_ELEMENT_LIMIT = 1 << 17  # 128 Ki elements (512 KiB of floats)
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — bandwidth
+# ----------------------------------------------------------------------
+@dataclass
+class SweepPoint:
+    size: int          # message size (bytes for fig9, elements for 10/11)
+    value: float
+    source: str        # "sim" | "model" | "host-model"
+
+
+def measure_stream_sim(
+    n_elements: int,
+    hops: int,
+    dtype: SMIDatatype = SMI_FLOAT,
+    config: HardwareConfig = NOCTUA,
+    topology: Topology | None = None,
+    app_width: int = 8,
+) -> int:
+    """Cycle-simulate one stream; returns elapsed cycles at the receiver."""
+    topology = topology or noctua_bus()
+    prog = SMIProgram(topology, config=config)
+    marks: dict[str, int] = {}
+
+    def snd(smi):
+        ch = smi.open_send_channel(n_elements, dtype, hops, 0)
+        data = np.zeros(n_elements, dtype=dtype.np_dtype)
+        yield from ch.push_vec(data, width=app_width)
+
+    def rcv(smi):
+        ch = smi.open_recv_channel(n_elements, dtype, 0, 0)
+        yield from ch.pop_vec(n_elements, width=app_width)
+        marks["end"] = smi.cycle
+
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, dtype)])
+    prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, dtype)])
+    res = prog.run(max_cycles=500_000_000)
+    assert res.completed, res.reason
+    return marks["end"]
+
+
+def bandwidth_sweep(
+    sizes_bytes: list[int],
+    hops: int,
+    config: HardwareConfig = NOCTUA,
+    dtype: SMIDatatype = SMI_FLOAT,
+    sim_limit_elements: int = SIM_ELEMENT_LIMIT,
+) -> list[SweepPoint]:
+    """SMI payload bandwidth (Gbit/s) per message size (Fig. 9 series)."""
+    points = []
+    for size in sizes_bytes:
+        n = max(1, size // dtype.size)
+        if n <= sim_limit_elements:
+            cycles = measure_stream_sim(n, hops, dtype, config)
+            secs = config.cycles_to_seconds(cycles)
+            bw = n * dtype.size * 8 / secs / 1e9
+            points.append(SweepPoint(size, bw, "sim"))
+        else:
+            bw = p2p_bandwidth_gbps(n, dtype, hops, config, app_width=8)
+            points.append(SweepPoint(size, bw, "model"))
+    return points
+
+
+def host_bandwidth_sweep(
+    sizes_bytes: list[int], host: HostPathModel = NOCTUA_HOST
+) -> list[SweepPoint]:
+    return [
+        SweepPoint(size, host.p2p_bandwidth_gbps(size), "host-model")
+        for size in sizes_bytes
+    ]
+
+
+# ----------------------------------------------------------------------
+# Table 3 — latency
+# ----------------------------------------------------------------------
+def measure_pingpong_us(
+    hops: int,
+    config: HardwareConfig = NOCTUA,
+    topology: Topology | None = None,
+) -> float:
+    """Half round-trip of a 1-element message over ``hops`` hops (§5.3.2)."""
+    topology = topology or noctua_bus()
+    prog = SMIProgram(topology, config=config)
+    marks: dict[str, int] = {}
+
+    def origin(smi):
+        s = smi.open_send_channel(1, SMI_INT, hops, 0)
+        r = smi.open_recv_channel(1, SMI_INT, hops, 1)
+        start = smi.cycle
+        yield from smi.push(s, 1)
+        yield from smi.pop(r)
+        marks["rtt"] = smi.cycle - start
+
+    def reflector(smi):
+        r = smi.open_recv_channel(1, SMI_INT, 0, 0)
+        s = smi.open_send_channel(1, SMI_INT, 0, 1)
+        v = yield from smi.pop(r)
+        yield from smi.push(s, v)
+
+    prog.add_kernel(origin, rank=0,
+                    ops=[OpDecl("send", 0, SMI_INT), OpDecl("recv", 1, SMI_INT)])
+    prog.add_kernel(reflector, rank=hops,
+                    ops=[OpDecl("recv", 0, SMI_INT), OpDecl("send", 1, SMI_INT)])
+    res = prog.run(max_cycles=5_000_000)
+    assert res.completed, res.reason
+    return config.cycles_to_us(marks["rtt"]) / 2
+
+
+# ----------------------------------------------------------------------
+# Table 4 — injection rate
+# ----------------------------------------------------------------------
+def measure_injection_cycles(read_burst: int, packets: int = 400,
+                             config: HardwareConfig = NOCTUA) -> float:
+    """Average cycles per packet injected from one endpoint (§5.3.3).
+
+    4 CKS/CKR pairs are instantiated (torus wiring); one application
+    endpoint streams continuously; the CKS therefore polls 5 inputs.
+    """
+    cfg = config.with_(read_burst=read_burst)
+    n = packets * SMI_FLOAT.elements_per_packet
+    cycles = measure_stream_sim(n, 1, SMI_FLOAT, cfg, topology=noctua_torus())
+    # Subtract the constant path latency to isolate the steady-state gap.
+    startup = p2p_stream(1, SMI_FLOAT, 1, cfg).cycles
+    return (cycles - startup) / packets
+
+
+# ----------------------------------------------------------------------
+# Figs. 10-11 — collective sweeps
+# ----------------------------------------------------------------------
+def measure_bcast_sim_us(
+    n: int, topology: Topology, num_ranks: int,
+    config: HardwareConfig = NOCTUA,
+) -> float:
+    prog = SMIProgram(topology, config=config)
+    comm_members = list(range(num_ranks))
+    marks: dict[int, int] = {}
+
+    def kernel(smi):
+        comm = (smi.comm_world.sub(comm_members)
+                if num_ranks < topology.num_ranks else smi.comm_world)
+        if not comm.contains(smi.rank):
+            return
+            yield  # pragma: no cover
+        chan = smi.open_bcast_channel(n, SMI_FLOAT, 0, 0, comm)
+        for i in range(n):
+            yield from chan.bcast(float(i) if smi.rank == 0 else None)
+        marks[smi.rank] = smi.cycle
+
+    prog.add_kernel(kernel, ranks="all", ops=[OpDecl("bcast", 0, SMI_FLOAT)])
+    res = prog.run(max_cycles=500_000_000)
+    assert res.completed, res.reason
+    return config.cycles_to_us(max(marks.values()))
+
+
+def measure_reduce_sim_us(
+    n: int, topology: Topology, num_ranks: int,
+    config: HardwareConfig = NOCTUA,
+) -> float:
+    prog = SMIProgram(topology, config=config)
+    comm_members = list(range(num_ranks))
+    marks: dict[int, int] = {}
+
+    def kernel(smi):
+        from ..core.ops import SMI_ADD
+
+        comm = (smi.comm_world.sub(comm_members)
+                if num_ranks < topology.num_ranks else smi.comm_world)
+        if not comm.contains(smi.rank):
+            return
+            yield  # pragma: no cover
+        chan = smi.open_reduce_channel(n, SMI_FLOAT, SMI_ADD, 0, 0, comm)
+        for i in range(n):
+            yield from chan.reduce(float(smi.rank + i))
+        marks[smi.rank] = smi.cycle
+
+    from ..core.ops import SMI_ADD
+
+    prog.add_kernel(kernel, ranks="all",
+                    ops=[OpDecl("reduce", 0, SMI_FLOAT, reduce_op=SMI_ADD)])
+    res = prog.run(max_cycles=500_000_000)
+    assert res.completed, res.reason
+    return config.cycles_to_us(max(marks.values()))
+
+
+def _avg_hops_from_root(topology: Topology, num_ranks: int) -> float:
+    hops = topology.hop_matrix()[0]
+    return float(np.mean([hops[d] for d in range(1, num_ranks)]))
+
+
+def collective_sweep(
+    kind: str,
+    sizes_elements: list[int],
+    topology: Topology,
+    num_ranks: int,
+    config: HardwareConfig = NOCTUA,
+    sim_limit_elements: int = 1 << 13,
+) -> list[SweepPoint]:
+    """SMI collective time (us) per message size, sim + model points."""
+    avg_hops = _avg_hops_from_root(topology, num_ranks)
+    diameter = max(topology.hop_matrix()[0][d] for d in range(num_ranks))
+    points = []
+    for n in sizes_elements:
+        if n <= sim_limit_elements:
+            if kind == "bcast":
+                us = measure_bcast_sim_us(n, topology, num_ranks, config)
+            elif kind == "reduce":
+                us = measure_reduce_sim_us(n, topology, num_ranks, config)
+            else:
+                raise ValueError(f"unknown collective sweep kind {kind!r}")
+            points.append(SweepPoint(n, us, "sim"))
+        else:
+            if kind == "bcast":
+                cyc = bcast_cycles(n, SMI_FLOAT, num_ranks, avg_hops, config)
+            else:
+                cyc = reduce_cycles(n, SMI_FLOAT, num_ranks, diameter, config)
+            points.append(SweepPoint(n, config.cycles_to_us(cyc), "model"))
+    return points
+
+
+def host_collective_sweep(
+    kind: str,
+    sizes_elements: list[int],
+    num_ranks: int,
+    host: HostPathModel = NOCTUA_HOST,
+) -> list[SweepPoint]:
+    fn = host.bcast_time_s if kind == "bcast" else host.reduce_time_s
+    return [
+        SweepPoint(n, fn(n, SMI_FLOAT, num_ranks) * 1e6, "host-model")
+        for n in sizes_elements
+    ]

@@ -1,0 +1,3 @@
+"""Host-mediated (MPI+OpenCL) baseline models."""
+
+from .model import HOST_NET_PEAK_BPS, NOCTUA_HOST, PCIE_PEAK_BPS, HostPathModel, Segment

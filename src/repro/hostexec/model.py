@@ -1,0 +1,150 @@
+"""Host-mediated communication baseline (MPI + OpenCL, §5.3).
+
+The paper's reference comparison moves data "through the host stack, where
+the application writes the message into off-chip DRAM on the device,
+transfers it across PCIe to the host, sends it to the remote host using an
+MPI_Send primitive. On the receiving host, symmetric operations are
+performed" — "a long sequence of copies through local device memory, local
+PCIe, host network, remote PCIe, and remote device memory" (§5.3.1).
+
+We model that path as a store-and-forward pipeline over named segments,
+each with a fixed latency and a bandwidth; a transfer of S bytes costs
+
+    T(S) = sum_i (L_i + S / B_i)
+
+because MPI+OpenCL performs the copies sequentially at message granularity
+(clEnqueueReadBuffer completes before MPI_Send starts, etc.).
+
+Calibration (documented per constant below):
+
+* one-way zero-byte latency sums to 36.61 us — Table 3's MPI+OpenCL value;
+* the large-message effective bandwidth works out to ~12.1 Gbit/s —
+  matching Fig. 9's MPI+OpenCL plateau at roughly one third of SMI's;
+* host *collectives* carry a large fixed overhead (OpenCL kernel launches,
+  event synchronisation, MPI collective setup across 8 processes) that
+  makes their small-message latency sit in the millisecond range, as in
+  Figs. 10–11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2
+
+from ..core.datatypes import SMIDatatype
+
+#: PCIe gen3 x8 peak, the dashed "PCIe Peak Bandwidth" line of Fig. 9.
+PCIE_PEAK_BPS = 63.0e9
+
+#: Omni-Path host interconnect peak (§5.1: 100 Gbit/s).
+HOST_NET_PEAK_BPS = 100.0e9
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One stage of the host path: fixed latency + bandwidth."""
+
+    name: str
+    latency_us: float
+    bandwidth_bps: float
+
+    def time_s(self, payload_bytes: int) -> float:
+        return self.latency_us * 1e-6 + payload_bytes * 8 / self.bandwidth_bps
+
+
+@dataclass(frozen=True)
+class HostPathModel:
+    """End-to-end device-to-device transfer through the hosts.
+
+    The default segment list models (latencies calibrated so the zero-byte
+    one-way total is exactly Table 3's 36.61 us):
+
+    1. device DRAM drain on the sender (DMA-visible buffer),
+    2. PCIe device->host including OpenCL readbuffer overhead,
+    3. host memory copy into the MPI send path,
+    4. MPI over Omni-Path,
+    5. host memory copy out of the MPI receive path,
+    6. PCIe host->device including OpenCL writebuffer overhead,
+    7. device DRAM fill on the receiver.
+    """
+
+    segments: tuple = (
+        Segment("dev-dram-src", 0.40, 128.0e9),
+        Segment("pcie-up", 15.90, PCIE_PEAK_BPS),
+        Segment("host-copy-src", 0.20, 80.0e9),
+        Segment("mpi-omnipath", 3.61, HOST_NET_PEAK_BPS),
+        Segment("host-copy-dst", 0.20, 80.0e9),
+        Segment("pcie-down", 15.90, PCIE_PEAK_BPS),
+        Segment("dev-dram-dst", 0.40, 128.0e9),
+    )
+    #: Extra fixed cost of a host-driven *collective* operation: OpenCL
+    #: kernel launches + event sync + MPI collective setup over all ranks
+    #: (calibrated to the flat small-message region of Figs. 10-11).
+    collective_fixed_us: float = 1500.0
+
+    # ------------------------------------------------------------------
+    # Point-to-point (Fig. 9 / Table 3)
+    # ------------------------------------------------------------------
+    def p2p_time_s(self, payload_bytes: int) -> float:
+        """One-way device-to-device transfer time."""
+        return sum(seg.time_s(payload_bytes) for seg in self.segments)
+
+    def p2p_latency_us(self) -> float:
+        """Zero-byte one-way latency (Table 3's MPI+OpenCL entry)."""
+        return self.p2p_time_s(0) * 1e6
+
+    def p2p_bandwidth_gbps(self, payload_bytes: int) -> float:
+        """Achieved payload bandwidth for a message of the given size."""
+        if payload_bytes <= 0:
+            return 0.0
+        return payload_bytes * 8 / self.p2p_time_s(payload_bytes) / 1e9
+
+    def peak_bandwidth_gbps(self) -> float:
+        """Asymptotic effective bandwidth of the full path."""
+        inv = sum(1.0 / seg.bandwidth_bps for seg in self.segments)
+        return 1.0 / inv / 1e9
+
+    # ------------------------------------------------------------------
+    # Collectives (Figs. 10-11)
+    # ------------------------------------------------------------------
+    def _rounds(self, num_ranks: int) -> int:
+        """Binomial-tree rounds of the host MPI collective."""
+        return max(1, ceil(log2(num_ranks))) if num_ranks > 1 else 0
+
+    def bcast_time_s(self, count: int, dtype: SMIDatatype, num_ranks: int) -> float:
+        """Host-driven broadcast of ``count`` elements to ``num_ranks``.
+
+        Each binomial round moves the full message device-to-device
+        through the host path (data must land in the receiving FPGA's
+        memory before that rank can serve the next round).
+        """
+        payload = count * dtype.size
+        rounds = self._rounds(num_ranks)
+        return self.collective_fixed_us * 1e-6 + rounds * self.p2p_time_s(payload)
+
+    def reduce_time_s(self, count: int, dtype: SMIDatatype, num_ranks: int) -> float:
+        """Host-driven reduction (binomial combine tree + host FLOPs)."""
+        payload = count * dtype.size
+        rounds = self._rounds(num_ranks)
+        # Host-side elementwise combine per round: ~8 GB/s effective.
+        combine_s = payload / 8.0e9
+        return (
+            self.collective_fixed_us * 1e-6
+            + rounds * (self.p2p_time_s(payload) + combine_s)
+        )
+
+    def scatter_time_s(self, count: int, dtype: SMIDatatype, num_ranks: int) -> float:
+        """Host-driven scatter: root sends one segment per peer."""
+        payload = count * dtype.size
+        return (
+            self.collective_fixed_us * 1e-6
+            + (num_ranks - 1) * self.p2p_time_s(payload)
+        )
+
+    def gather_time_s(self, count: int, dtype: SMIDatatype, num_ranks: int) -> float:
+        """Host-driven gather: root receives one segment per peer."""
+        return self.scatter_time_s(count, dtype, num_ranks)
+
+
+#: The calibrated Noctua host path (Xeon Gold 6148F + Omni-Path, §5.1).
+NOCTUA_HOST = HostPathModel()

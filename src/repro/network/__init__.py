@@ -1,0 +1,40 @@
+"""Inter-FPGA network substrate: packets, links, topologies, routing."""
+
+from .fabric import Fabric
+from .link import Link
+from .packet import MAX_VALID_COUNT, OpType, Packet, make_data_packets
+from .routing import (
+    Routes,
+    channel_dependency_graph,
+    compute_routes,
+    is_deadlock_free,
+)
+from .topology import (
+    Connection,
+    Topology,
+    bus,
+    noctua_bus,
+    noctua_torus,
+    ring,
+    torus2d,
+)
+
+__all__ = [
+    "Fabric",
+    "Link",
+    "MAX_VALID_COUNT",
+    "OpType",
+    "Packet",
+    "make_data_packets",
+    "Routes",
+    "channel_dependency_graph",
+    "compute_routes",
+    "is_deadlock_free",
+    "Connection",
+    "Topology",
+    "bus",
+    "noctua_bus",
+    "noctua_torus",
+    "ring",
+    "torus2d",
+]

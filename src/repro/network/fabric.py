@@ -1,0 +1,64 @@
+"""Cluster fabric: instantiate the physical network inside a simulation.
+
+Given a :class:`~repro.network.topology.Topology` and a
+:class:`~repro.core.config.HardwareConfig`, build the directed
+:class:`~repro.network.link.Link` pair for every cable, indexed so the
+transport layer can fetch "the link behind my interface i".
+"""
+
+from __future__ import annotations
+
+from ..core.config import HardwareConfig
+from ..core.errors import TopologyError
+from .link import Link
+from .topology import Topology
+
+
+class Fabric:
+    """All physical links of the cluster, plus endpoint lookups."""
+
+    def __init__(
+        self,
+        engine,
+        topology: Topology,
+        config: HardwareConfig,
+        validate_wire: bool = False,
+    ) -> None:
+        if topology.num_interfaces > config.num_interfaces:
+            raise TopologyError(
+                f"topology {topology.name!r} needs {topology.num_interfaces} "
+                f"interfaces but the platform has {config.num_interfaces}"
+            )
+        self.engine = engine
+        self.topology = topology
+        self.config = config
+        # Directed links keyed by transmitting endpoint (rank, iface).
+        self.tx_link: dict[tuple[int, int], Link] = {}
+        # Directed links keyed by receiving endpoint (rank, iface).
+        self.rx_link: dict[tuple[int, int], Link] = {}
+        for conn in topology.connections:
+            for src, dst in ((conn.a, conn.b), (conn.b, conn.a)):
+                link = Link(
+                    engine, src, dst,
+                    latency_cycles=config.link_latency_cycles,
+                    cycles_per_packet=config.link_cycles_per_packet,
+                    validate=validate_wire,
+                )
+                self.tx_link[src] = link
+                self.rx_link[dst] = link
+
+    def outgoing(self, rank: int, iface: int) -> Link | None:
+        """The link transmitting from ``rank:iface`` (None if unwired)."""
+        return self.tx_link.get((rank, iface))
+
+    def incoming(self, rank: int, iface: int) -> Link | None:
+        """The link delivering into ``rank:iface`` (None if unwired)."""
+        return self.rx_link.get((rank, iface))
+
+    def links(self) -> list[Link]:
+        """All directed links."""
+        return list(self.tx_link.values())
+
+    def total_packets(self) -> int:
+        """Packets carried across the whole fabric."""
+        return sum(link.packets for link in self.links())

@@ -1,0 +1,115 @@
+"""Inter-FPGA serial links.
+
+A QSFP connection (§5.1) carries one 256-bit word — one network packet — per
+*link slot* (``link_cycles_per_packet`` kernel cycles; 40 Gbit/s raw at the
+defaults), with a fixed in-flight latency (SerDes + wire). The BSP
+guarantees error correction, flow control and backpressure, so the link is
+modelled as a lossless, in-order, bounded channel: a
+:class:`~repro.simulation.fifo.Fifo` whose latency is the wire delay, whose
+capacity covers the bandwidth-delay product (so latency never limits
+throughput, as on the real hardware), and whose write port is paced to the
+line rate.
+
+Optionally a link *validates* the wire format: every packet is encoded to
+its 32-byte representation and decoded back on arrival, asserting that the
+object-level fast path and the bit-exact codec agree.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SimulationError
+from ..simulation.conditions import WaitCycles
+from ..simulation.fifo import Fifo
+from .packet import Packet
+
+
+class Link:
+    """A directed inter-FPGA channel paced at one packet per link slot."""
+
+    __slots__ = ("fifo", "src", "dst", "validate", "packets", "payload_bytes",
+                 "cycles_per_packet", "_next_free")
+
+    def __init__(
+        self,
+        engine,
+        src: tuple[int, int],
+        dst: tuple[int, int],
+        latency_cycles: int,
+        cycles_per_packet: int = 1,
+        validate: bool = False,
+    ) -> None:
+        self.src = src  # (rank, iface)
+        self.dst = dst
+        self.validate = validate
+        self.cycles_per_packet = max(1, cycles_per_packet)
+        self._next_free = 0
+        # Capacity >= in-flight packets at full rate, + handoff slack.
+        latency = max(1, latency_cycles)
+        capacity = latency // self.cycles_per_packet + 4
+        self.fifo = Fifo(
+            engine,
+            name=f"link.{src[0]}:{src[1]}->{dst[0]}:{dst[1]}",
+            capacity=capacity,
+            latency=latency,
+        )
+        self.packets = 0
+        self.payload_bytes = 0
+
+    # The transport pushes/pops packets through the link's FIFO interface.
+    @property
+    def writable(self) -> bool:
+        return self.fifo.writable and self.fifo.engine.cycle >= self._next_free
+
+    @property
+    def readable(self) -> bool:
+        return self.fifo.readable
+
+    @property
+    def can_push(self):
+        return self.fifo.can_push
+
+    @property
+    def can_pop(self):
+        return self.fifo.can_pop
+
+    def wait_writable(self):
+        """Condition for a stalled producer: FIFO space or line pacing."""
+        if not self.fifo.writable:
+            return self.fifo.can_push
+        gap = self._next_free - self.fifo.engine.cycle
+        return WaitCycles(max(1, gap))
+
+    def wait_readable(self):
+        return self.fifo.can_pop
+
+    def stage(self, packet: Packet) -> None:
+        """Transmit one packet (occupies one link slot)."""
+        if not self.writable:
+            raise SimulationError(
+                f"link {self.fifo.name}: stage() while busy or full"
+            )
+        if self.validate:
+            wire = packet.encode()
+            check = Packet.decode(wire, packet.dtype)
+            if (check.src, check.dst, check.port, check.op, check.count) != (
+                packet.src, packet.dst, packet.port, packet.op, packet.count
+            ):
+                raise SimulationError(
+                    f"wire codec mismatch on {self.fifo.name}: {packet!r}"
+                )
+        self.fifo.stage(packet)
+        self._next_free = self.fifo.engine.cycle + self.cycles_per_packet
+        self.packets += 1
+        self.payload_bytes += packet.payload_bytes
+
+    def take(self) -> Packet:
+        return self.fifo.take()
+
+    def utilization(self, cycles: int) -> float:
+        """Fraction of link slots that carried a packet."""
+        if cycles <= 0:
+            return 0.0
+        return self.packets * self.cycles_per_packet / cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Link({self.src} -> {self.dst}, {self.packets} pkts)"

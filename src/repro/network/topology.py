@@ -1,0 +1,289 @@
+"""Interconnect topology descriptions (§4.5, §5.1).
+
+The FPGA cluster's interconnect is "described by a list of point-to-point
+connections" between FPGA network ports. This module models that description,
+offers the builders used in the evaluation (2-D torus and linear bus over 8
+FPGAs, §5.1/§5.3), and round-trips the JSON format consumed by the route
+generator (Fig. 8) plus the compact ``"A:0 - B:0"`` text form shown there.
+
+A *connection* joins ``(rank_a, iface_a)`` to ``(rank_b, iface_b)`` — both
+directions, since QSFP links are full duplex. Each (rank, interface) can be
+wired at most once.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import networkx as nx
+
+from ..core.errors import TopologyError
+
+#: A network endpoint: (rank, interface index).
+Endpoint = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A full-duplex cable between two FPGA network ports."""
+
+    a: Endpoint
+    b: Endpoint
+
+    def normalized(self) -> "Connection":
+        """Order endpoints canonically so connections compare stably."""
+        return self if self.a <= self.b else Connection(self.b, self.a)
+
+    def other(self, endpoint: Endpoint) -> Endpoint:
+        if endpoint == self.a:
+            return self.b
+        if endpoint == self.b:
+            return self.a
+        raise TopologyError(f"{endpoint} is not part of {self}")
+
+    def __str__(self) -> str:
+        return f"{self.a[0]}:{self.a[1]} - {self.b[0]}:{self.b[1]}"
+
+
+class Topology:
+    """A cluster interconnect: ranks, interfaces, and their wiring."""
+
+    def __init__(
+        self,
+        num_ranks: int,
+        connections: list[Connection | tuple],
+        num_interfaces: int = 4,
+        name: str = "custom",
+    ) -> None:
+        if num_ranks < 1:
+            raise TopologyError(f"num_ranks must be >= 1, got {num_ranks}")
+        if num_ranks > 256:
+            raise TopologyError("packet header limits ranks to 256 (§4.2)")
+        if num_interfaces < 1:
+            raise TopologyError("num_interfaces must be >= 1")
+        self.num_ranks = num_ranks
+        self.num_interfaces = num_interfaces
+        self.name = name
+        self.connections: list[Connection] = []
+        used: set[Endpoint] = set()
+        for conn in connections:
+            if not isinstance(conn, Connection):
+                conn = Connection(tuple(conn[0]), tuple(conn[1]))
+            conn = conn.normalized()
+            for rank, iface in (conn.a, conn.b):
+                if not 0 <= rank < num_ranks:
+                    raise TopologyError(
+                        f"connection {conn}: rank {rank} out of range "
+                        f"[0, {num_ranks})"
+                    )
+                if not 0 <= iface < num_interfaces:
+                    raise TopologyError(
+                        f"connection {conn}: interface {iface} out of range "
+                        f"[0, {num_interfaces})"
+                    )
+                if (rank, iface) in used:
+                    raise TopologyError(
+                        f"network port {rank}:{iface} wired more than once"
+                    )
+                used.add((rank, iface))
+            if conn.a == conn.b:
+                raise TopologyError(f"self-loop connection: {conn}")
+            if conn.a[0] == conn.b[0]:
+                raise TopologyError(
+                    f"connection {conn} loops back to the same FPGA"
+                )
+            self.connections.append(conn)
+        self._peer: dict[Endpoint, Endpoint] = {}
+        for conn in self.connections:
+            self._peer[conn.a] = conn.b
+            self._peer[conn.b] = conn.a
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def peer(self, rank: int, iface: int) -> Endpoint | None:
+        """The endpoint wired to ``rank:iface``, or None if unconnected."""
+        return self._peer.get((rank, iface))
+
+    def interfaces_of(self, rank: int) -> list[int]:
+        """Connected interface indices of one rank, ascending."""
+        return sorted(i for (r, i) in self._peer if r == rank)
+
+    def neighbors_of(self, rank: int) -> set[int]:
+        """Ranks directly connected to ``rank``."""
+        return {self._peer[(r, i)][0] for (r, i) in self._peer if r == rank}
+
+    def graph(self) -> nx.MultiGraph:
+        """The interconnect as a networkx multigraph (parallel links kept)."""
+        g = nx.MultiGraph()
+        g.add_nodes_from(range(self.num_ranks))
+        for conn in self.connections:
+            g.add_edge(conn.a[0], conn.b[0], iface_a=conn.a[1], iface_b=conn.b[1])
+        return g
+
+    def is_connected(self) -> bool:
+        """Whether every rank can reach every other rank."""
+        if self.num_ranks == 1:
+            return True
+        return nx.is_connected(self.graph())
+
+    def hop_matrix(self) -> dict[int, dict[int, int]]:
+        """All-pairs hop distances (BFS over the interconnect graph)."""
+        return {
+            src: dict(lengths)
+            for src, lengths in nx.all_pairs_shortest_path_length(self.graph())
+        }
+
+    def diameter(self) -> int:
+        """Maximum hop distance between any two ranks."""
+        hops = self.hop_matrix()
+        return max(d for row in hops.values() for d in row.values())
+
+    # ------------------------------------------------------------------
+    # Serialization (route generator input, Fig. 8)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "num_ranks": self.num_ranks,
+            "num_interfaces": self.num_interfaces,
+            "connections": [
+                [list(conn.a), list(conn.b)] for conn in self.connections
+            ],
+        }
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        text = json.dumps(self.to_dict(), indent=2)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Topology":
+        try:
+            return cls(
+                num_ranks=data["num_ranks"],
+                connections=[
+                    Connection(tuple(a), tuple(b)) for a, b in data["connections"]
+                ],
+                num_interfaces=data.get("num_interfaces", 4),
+                name=data.get("name", "custom"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise TopologyError(f"malformed topology description: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "Topology":
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            text = Path(source).read_text()
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_text(cls, text: str, num_ranks: int | None = None,
+                  num_interfaces: int = 4, name: str = "custom") -> "Topology":
+        """Parse the compact ``"0:0 - 1:2"`` per-line form (Fig. 8)."""
+        connections = []
+        max_rank = -1
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                left, right = (part.strip() for part in line.split("-"))
+                ra, ia = (int(x) for x in left.split(":"))
+                rb, ib = (int(x) for x in right.split(":"))
+            except ValueError as exc:
+                raise TopologyError(
+                    f"line {lineno}: cannot parse connection {raw!r}"
+                ) from exc
+            connections.append(Connection((ra, ia), (rb, ib)))
+            max_rank = max(max_rank, ra, rb)
+        if num_ranks is None:
+            num_ranks = max_rank + 1
+        return cls(num_ranks, connections, num_interfaces, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Topology({self.name}, ranks={self.num_ranks}, "
+            f"links={len(self.connections)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Builders for the topologies used in the evaluation
+# ----------------------------------------------------------------------
+def bus(num_ranks: int, num_interfaces: int = 4) -> Topology:
+    """A linear bus: rank i wired to rank i+1 (§5.3.1's 'linear bus').
+
+    Uses interface 0 towards the lower neighbour and interface 1 towards the
+    higher neighbour, mirroring how the paper degrades the torus by
+    "disabling other connections as needed".
+    """
+    if num_interfaces < 2 and num_ranks > 2:
+        raise TopologyError("a bus needs at least 2 interfaces per rank")
+    conns = [
+        Connection((i, 1), (i + 1, 0)) for i in range(num_ranks - 1)
+    ]
+    return Topology(num_ranks, conns, num_interfaces, name=f"bus{num_ranks}")
+
+
+def ring(num_ranks: int, num_interfaces: int = 4) -> Topology:
+    """A ring: a bus with the ends joined."""
+    if num_ranks < 3:
+        raise TopologyError("a ring needs at least 3 ranks")
+    conns = [Connection((i, 1), ((i + 1) % num_ranks, 0)) for i in range(num_ranks)]
+    return Topology(num_ranks, conns, num_interfaces, name=f"ring{num_ranks}")
+
+
+def torus2d(rows: int, cols: int, num_interfaces: int = 4) -> Topology:
+    """A 2-D torus of ``rows x cols`` FPGAs (§5.1's 8-FPGA deployment).
+
+    Interface convention per rank: 0=north, 1=east, 2=south, 3=west. With
+    fewer than 3 rows (or columns) the wrap-around link coincides with the
+    direct link; both are materialised as parallel cables on the paired
+    interfaces, matching a physically cabled small torus.
+    """
+    if rows < 1 or cols < 1:
+        raise TopologyError("torus dimensions must be >= 1")
+    if rows * cols < 2:
+        raise TopologyError("torus needs at least 2 ranks")
+    if num_interfaces < 4:
+        raise TopologyError("a 2-D torus needs 4 interfaces per rank")
+    NORTH, EAST, SOUTH, WEST = 0, 1, 2, 3
+
+    def rank_of(r: int, c: int) -> int:
+        return (r % rows) * cols + (c % cols)
+
+    conns: list[Connection] = []
+    seen: set[tuple] = set()
+    for r in range(rows):
+        for c in range(cols):
+            me = rank_of(r, c)
+            # South link (wraps); skip degenerate single-row dimension.
+            if rows > 1:
+                other = rank_of(r + 1, c)
+                key = ("v", min(me, other), max(me, other), r == rows - 1)
+                if key not in seen:
+                    seen.add(key)
+                    conns.append(Connection((me, SOUTH), (other, NORTH)))
+            # East link (wraps); skip degenerate single-column dimension.
+            if cols > 1:
+                other = rank_of(r, c + 1)
+                key = ("h", min(me, other), max(me, other), c == cols - 1)
+                if key not in seen:
+                    seen.add(key)
+                    conns.append(Connection((me, EAST), (other, WEST)))
+    return Topology(rows * cols, conns, num_interfaces, name=f"torus{rows}x{cols}")
+
+
+#: The evaluation platform's torus: 8 FPGAs in 2 x 4 (§5.1).
+def noctua_torus() -> Topology:
+    return torus2d(2, 4)
+
+
+#: The evaluation's degraded linear-bus wiring over the same 8 FPGAs.
+def noctua_bus() -> Topology:
+    return bus(8)

@@ -1,0 +1,112 @@
+"""Closed-form timing of SMI collectives (Figs. 10-11 model extension).
+
+Derived from the support-kernel implementations in
+:mod:`repro.transport.collectives`; validated against the cycle simulator
+on small/medium sizes and used to extend the benchmark sweeps to sizes the
+cycle simulation cannot reach in reasonable wall time.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from ..core.config import HardwareConfig
+from ..core.datatypes import SMIDatatype
+from .streams import endpoint_cycles, hop_cycles, p2p_stream
+
+#: Per-packet service at a relaying/combining support kernel: one cycle to
+#: accept + relay, plus one cycle per payload element delivered/combined.
+def _kernel_packet_service(dtype: SMIDatatype) -> float:
+    return 1.0 + dtype.elements_per_packet
+
+
+def bcast_cycles(
+    count: int,
+    dtype: SMIDatatype,
+    num_ranks: int,
+    avg_hops: float,
+    config: HardwareConfig,
+) -> float:
+    """Chain broadcast time (§4.4 linear scheme, pipelined relay).
+
+    Phases: readiness rendezvous (all non-roots report READY to the root),
+    chain fill (first packet traverses P-1 support kernels), then the
+    steady state paced by the slowest chain stage (a relaying support
+    kernel: 1 + epp cycles per packet).
+    """
+    if count <= 0 or num_ranks <= 1:
+        return float(count)
+    packets = dtype.packets_for(count)
+    epp = dtype.elements_per_packet
+    sync = endpoint_cycles(config) + avg_hops * hop_cycles(config)
+    fill = (num_ranks - 1) * (avg_hops * hop_cycles(config)
+                              + _kernel_packet_service(dtype))
+    steady = (packets - 1) * _kernel_packet_service(dtype)
+    drain = min(count, epp)
+    return sync + fill + steady + drain
+
+
+def reduce_cycles(
+    count: int,
+    dtype: SMIDatatype,
+    num_ranks: int,
+    diameter_hops: float,
+    config: HardwareConfig,
+) -> float:
+    """Credit-based linear reduction time (§4.4).
+
+    The root combines every rank's stream elementwise at one element per
+    cycle — (P-1) network streams plus the local one — so the busy time is
+    ~count * ((P-1) * (1 + 1/epp) + 1) cycles. Every credit tile adds a
+    latency-bound stall: the root drains the tile, sends credits to each
+    rank, and the farthest rank's next tile travels back — this is the
+    "latency sensitive" term that grows with the network diameter (§5.3.4).
+    """
+    if count <= 0:
+        return 0.0
+    if num_ranks <= 1:
+        return float(2 * count)
+    epp = dtype.elements_per_packet
+    per_element_root = (num_ranks - 1) * (1.0 + 1.0 / epp) + 1.0
+    busy = count * per_element_root
+    tiles = ceil(count / config.reduce_credits)
+    stall_per_tile = (
+        2 * diameter_hops * hop_cycles(config)  # credit out + data back
+        + (num_ranks - 1)                        # credit packets serialised
+    )
+    startup = endpoint_cycles(config) + diameter_hops * hop_cycles(config)
+    return startup + busy + max(0, tiles - 1) * stall_per_tile
+
+
+def scatter_cycles(
+    count: int,
+    dtype: SMIDatatype,
+    num_ranks: int,
+    avg_hops: float,
+    config: HardwareConfig,
+) -> float:
+    """Linear scatter: per-rank rendezvous + sequential segment streams."""
+    if count <= 0:
+        return 0.0
+    per_segment = p2p_stream(count, dtype, max(1, round(avg_hops)), config).cycles
+    rendezvous = endpoint_cycles(config) + avg_hops * hop_cycles(config)
+    # Segments are streamed in rank order; rendezvous overlaps only the
+    # first (the root must observe READY k before starting segment k).
+    return rendezvous + (num_ranks - 1) * per_segment + count
+
+
+def gather_cycles(
+    count: int,
+    dtype: SMIDatatype,
+    num_ranks: int,
+    avg_hops: float,
+    config: HardwareConfig,
+) -> float:
+    """Linear gather: sequential GRANT + segment stream per rank."""
+    if count <= 0:
+        return 0.0
+    per_segment = (
+        avg_hops * hop_cycles(config)              # GRANT to the rank
+        + p2p_stream(count, dtype, max(1, round(avg_hops)), config).cycles
+    )
+    return endpoint_cycles(config) + (num_ranks - 1) * per_segment + count

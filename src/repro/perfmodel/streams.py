@@ -1,0 +1,142 @@
+"""Closed-form timing model of SMI point-to-point streams.
+
+The cycle simulator is exact but O(packets); Fig. 9 sweeps to 256 MB, which
+is out of reach for pure-Python cycle simulation. This model captures the
+same architecture in closed form and is *validated against the simulator*
+on overlapping sizes (see ``tests/test_perfmodel.py``); benchmarks use the
+simulator up to a size threshold and the model beyond it, labelling each
+point with its source.
+
+Structure of a stream of K packets over h hops:
+
+    T = T_setup + T_path + (K - 1) * G + T_drain
+
+* ``T_setup``: packing the first element(s) and traversing the sender's
+  endpoint FIFO into the CKS.
+* ``T_path``: per-hop transit — link latency + one link slot + CK handoff
+  (CKR poll, inter-CK FIFO, CKS poll) for every intermediate rank.
+* ``G``: the steady-state packet gap — the bottleneck of the application's
+  packet production rate (epp/app_width cycles per packet), the CKS's
+  polling-limited service rate ((R + n_idle) / R with one active input),
+  and the link slot rate.
+* ``T_drain``: delivering the last packet's elements to the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import HardwareConfig
+from ..core.datatypes import SMIDatatype
+
+#: Cycles for a CK to accept + route + stage one packet (take/stage path).
+CK_FORWARD_CYCLES = 1
+#: Inter-CK FIFO handoff latency within a rank (CKR -> CKS on a hop).
+INTER_CK_HANDOFF_CYCLES = 2
+#: Cycles to pack one element and stage the first packet at the sender.
+PACK_SETUP_CYCLES = 2
+#: Polling positions a CKS scans besides the active input when idle
+#: (paired CKR + up to 3 sibling CKS; matches the 5-input Table 4 setup).
+IDLE_POLL_POSITIONS = 4
+
+
+@dataclass(frozen=True)
+class StreamEstimate:
+    """Model output for one stream."""
+
+    cycles: float
+    packets: int
+    hops: int
+
+    def seconds(self, config: HardwareConfig) -> float:
+        return config.cycles_to_seconds(self.cycles)
+
+    def us(self, config: HardwareConfig) -> float:
+        return config.cycles_to_us(self.cycles)
+
+
+def packet_gap_cycles(
+    config: HardwareConfig, dtype: SMIDatatype, app_width: int = 1
+) -> float:
+    """Steady-state cycles between consecutive packets of one stream."""
+    epp = dtype.elements_per_packet
+    app_gap = epp / app_width
+    R = config.read_burst
+    cks_gap = (R + IDLE_POLL_POSITIONS) / R
+    link_gap = config.link_cycles_per_packet
+    return max(app_gap, cks_gap, link_gap)
+
+
+def hop_cycles(config: HardwareConfig) -> float:
+    """Transit cycles added by each physical hop."""
+    return (
+        config.link_latency_cycles
+        + config.link_cycles_per_packet
+        + CK_FORWARD_CYCLES
+        + INTER_CK_HANDOFF_CYCLES
+    )
+
+
+def endpoint_cycles(config: HardwareConfig) -> float:
+    """Endpoint-stack cycles charged once per stream (both ends)."""
+    return 2 * (config.endpoint_latency_cycles + 1) + PACK_SETUP_CYCLES
+
+
+def p2p_stream(
+    count: int,
+    dtype: SMIDatatype,
+    hops: int,
+    config: HardwareConfig,
+    app_width: int = 1,
+) -> StreamEstimate:
+    """Time to move ``count`` elements over ``hops`` physical hops."""
+    if count <= 0:
+        return StreamEstimate(0.0, 0, hops)
+    packets = dtype.packets_for(count)
+    gap = packet_gap_cycles(config, dtype, app_width)
+    epp = dtype.elements_per_packet
+    drain = min(count, epp) / app_width
+    cycles = (
+        endpoint_cycles(config)
+        + hops * hop_cycles(config)
+        + (packets - 1) * gap
+        + drain
+    )
+    return StreamEstimate(cycles, packets, hops)
+
+
+def p2p_latency_us(
+    hops: int, config: HardwareConfig, dtype: SMIDatatype | None = None
+) -> float:
+    """One-way latency of a single-element message (Table 3 model)."""
+    from ..core.datatypes import SMI_INT
+
+    est = p2p_stream(1, dtype or SMI_INT, hops, config)
+    return est.us(config)
+
+
+def p2p_bandwidth_gbps(
+    count: int,
+    dtype: SMIDatatype,
+    hops: int,
+    config: HardwareConfig,
+    app_width: int = 8,
+) -> float:
+    """Achieved payload bandwidth of a ``count``-element stream (Fig. 9)."""
+    est = p2p_stream(count, dtype, hops, config, app_width)
+    if est.cycles <= 0:
+        return 0.0
+    payload_bits = count * dtype.size * 8
+    return payload_bits / est.seconds(config) / 1e9
+
+
+def injection_gap_cycles(config: HardwareConfig, active_inputs: int = 1,
+                         total_inputs: int = 5) -> float:
+    """Average cycles between packets accepted from one endpoint (Table 4).
+
+    With one active input among ``total_inputs``, an R-burst poller accepts
+    R packets then scans the other inputs one cycle each:
+    gap = (R + total - active) / R.
+    """
+    R = config.read_burst
+    return (R + (total_inputs - active_inputs)) / R

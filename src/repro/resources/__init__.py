@@ -1,0 +1,13 @@
+"""FPGA resource models (Tables 1-2) and the chip database."""
+
+from .chips import CHIPS, STRATIX10_GX2800, Chip
+from .model import (
+    BCAST_KERNEL,
+    COLLECTIVE_KERNELS,
+    REDUCE_KERNEL_FP32_SUM,
+    ResourceVector,
+    SMIResourceEstimate,
+    estimate,
+    table1,
+    table2,
+)

@@ -1,0 +1,50 @@
+"""FPGA device database (resource capacities).
+
+Capacities of the Stratix 10 GX2800 (the chip on the Nallatech 520N, §5.1),
+used to express resource consumption as "% of max" exactly as Table 1 does.
+The GX2800 has 933,120 ALMs; each ALM provides two ALUT lookup-table
+outputs and four registers, giving the LUT/FF capacities below; 11,721 M20K
+memory blocks; 5,760 DSP blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Chip:
+    """Resource capacities of one FPGA device."""
+
+    name: str
+    alms: int
+    luts: int
+    ffs: int
+    m20ks: int
+    dsps: int
+
+    def fraction(self, resource: str, amount: int) -> float:
+        """``amount`` as a fraction of this chip's capacity of ``resource``."""
+        capacity = {
+            "luts": self.luts,
+            "ffs": self.ffs,
+            "m20ks": self.m20ks,
+            "dsps": self.dsps,
+        }.get(resource)
+        if capacity is None:
+            raise ConfigurationError(f"unknown resource {resource!r}")
+        return amount / capacity
+
+
+STRATIX10_GX2800 = Chip(
+    name="Stratix 10 GX2800",
+    alms=933_120,
+    luts=1_866_240,   # 2 ALUTs per ALM
+    ffs=3_732_480,    # 4 registers per ALM
+    m20ks=11_721,
+    dsps=5_760,
+)
+
+CHIPS = {STRATIX10_GX2800.name: STRATIX10_GX2800}

@@ -1,0 +1,205 @@
+"""Analytical FPGA resource model for the SMI transport (Tables 1 and 2).
+
+The paper reports post-synthesis resource consumption at two design points
+(1 QSFP and 4 QSFPs, one application endpoint per CKS/CKR pair) and for the
+two collective support kernels. This model reproduces those synthesis
+results exactly at the reported configurations and interpolates between
+them with the scaling law the paper states: "the number of used resources
+grows slightly faster than linear ... due to the fact that the number of
+input/output channels that the communication kernels must handle increases
+with the number of used QSFPs" (§5.2).
+
+We capture that with a quadratic-through-origin form per resource class:
+
+    r(q) = a * q + b * q^2
+
+where the linear term is per-kernel logic and the quadratic term is the
+all-to-all inter-CK wiring (each of the q CKS has q-1 sibling inputs). The
+(a, b) pairs are fitted exactly through the paper's q=1 and q=4 synthesis
+points. Per-endpoint increments use the CK figures divided by the one
+endpoint per pair the paper instantiated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError
+from .chips import STRATIX10_GX2800, Chip
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """LUT / FF / M20K / DSP consumption of a component."""
+
+    luts: int = 0
+    ffs: int = 0
+    m20ks: int = 0
+    dsps: int = 0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.m20ks + other.m20ks,
+            self.dsps + other.dsps,
+        )
+
+    def scaled(self, k: float) -> "ResourceVector":
+        return ResourceVector(
+            round(self.luts * k), round(self.ffs * k),
+            round(self.m20ks * k), round(self.dsps * k),
+        )
+
+    def fractions(self, chip: Chip) -> dict[str, float]:
+        return {
+            "luts": chip.fraction("luts", self.luts),
+            "ffs": chip.fraction("ffs", self.ffs),
+            "m20ks": chip.fraction("m20ks", self.m20ks),
+            "dsps": chip.fraction("dsps", self.dsps),
+        }
+
+
+def _fit_quadratic(v1: float, v4: float) -> tuple[float, float]:
+    """Fit r(q) = a q + b q^2 through (1, v1) and (4, v4) exactly."""
+    # a + b = v1 ; 4 a + 16 b = v4  =>  b = (v4 - 4 v1) / 12.
+    b = (v4 - 4 * v1) / 12.0
+    a = v1 - b
+    return a, b
+
+
+# Paper synthesis points (Table 1): value at 1 QSFP, value at 4 QSFPs.
+_INTERCONNECT_POINTS = {"luts": (144, 1152), "ffs": (4872, 39264), "m20ks": (0, 0)}
+_CK_POINTS = {"luts": (6186, 30960), "ffs": (7189, 31072), "m20ks": (10, 40)}
+
+_INTERCONNECT_FIT = {k: _fit_quadratic(*v) for k, v in _INTERCONNECT_POINTS.items()}
+_CK_FIT = {k: _fit_quadratic(*v) for k, v in _CK_POINTS.items()}
+
+# Collective support kernels (Table 2; FP32 data, SUM for Reduce).
+BCAST_KERNEL = ResourceVector(luts=2560, ffs=3593, m20ks=0, dsps=0)
+REDUCE_KERNEL_FP32_SUM = ResourceVector(luts=10268, ffs=14648, m20ks=0, dsps=6)
+# Scatter/Gather follow the Bcast structure (rendezvous + streaming,
+# no arithmetic); the paper does not report them separately.
+SCATTER_KERNEL = BCAST_KERNEL
+GATHER_KERNEL = BCAST_KERNEL
+
+COLLECTIVE_KERNELS = {
+    "bcast": BCAST_KERNEL,
+    "reduce": REDUCE_KERNEL_FP32_SUM,
+    "scatter": SCATTER_KERNEL,
+    "gather": GATHER_KERNEL,
+}
+
+
+def _eval_fit(fit: dict, q: int) -> dict[str, int]:
+    return {k: round(a * q + b * q * q) for k, (a, b) in fit.items()}
+
+
+@dataclass
+class SMIResourceEstimate:
+    """Resource breakdown of one rank's SMI instantiation."""
+
+    qsfps: int
+    endpoints: int
+    interconnect: ResourceVector
+    comm_kernels: ResourceVector
+    collectives: ResourceVector
+    chip: Chip = STRATIX10_GX2800
+
+    @property
+    def total(self) -> ResourceVector:
+        return self.interconnect + self.comm_kernels + self.collectives
+
+    @property
+    def transport_total(self) -> ResourceVector:
+        """Interconnect + communication kernels (the Table 1 rows)."""
+        return self.interconnect + self.comm_kernels
+
+    def fractions(self) -> dict[str, float]:
+        return self.total.fractions(self.chip)
+
+
+def estimate(
+    qsfps: int,
+    endpoints_per_pair: int = 1,
+    collectives: dict[str, int] | None = None,
+    chip: Chip = STRATIX10_GX2800,
+) -> SMIResourceEstimate:
+    """Estimate SMI resource consumption for one FPGA.
+
+    Parameters
+    ----------
+    qsfps:
+        Number of network ports in use (CKS/CKR pairs instantiated).
+    endpoints_per_pair:
+        Application endpoints attached to each CKS/CKR pair. Table 1's
+        design points use 1; additional endpoints add the per-endpoint
+        share of the CK logic (input FIFO + mux leg).
+    collectives:
+        Optional {kind: count} of collective support kernels to include
+        (Table 2 figures, Scatter/Gather approximated by the Bcast cost).
+    """
+    if not 1 <= qsfps <= 4:
+        raise ConfigurationError(f"qsfps must be in [1, 4]: {qsfps}")
+    if endpoints_per_pair < 1:
+        raise ConfigurationError("endpoints_per_pair must be >= 1")
+    inter = _eval_fit(_INTERCONNECT_FIT, qsfps)
+    ck = _eval_fit(_CK_FIT, qsfps)
+    interconnect = ResourceVector(inter["luts"], inter["ffs"], inter["m20ks"], 0)
+    comm = ResourceVector(ck["luts"], ck["ffs"], ck["m20ks"], 0)
+    if endpoints_per_pair > 1:
+        # Each extra endpoint adds roughly one endpoint's share of a CK's
+        # input handling: FIFO + arbitration leg (~1/4 of a single-QSFP CK).
+        per_endpoint = ResourceVector(
+            *(round(v / 4) for v in (_CK_POINTS["luts"][0],
+                                     _CK_POINTS["ffs"][0],
+                                     _CK_POINTS["m20ks"][0])), 0
+        )
+        comm = comm + per_endpoint.scaled(qsfps * (endpoints_per_pair - 1))
+    coll = ResourceVector()
+    for kind, count in (collectives or {}).items():
+        if kind not in COLLECTIVE_KERNELS:
+            raise ConfigurationError(f"unknown collective kind {kind!r}")
+        coll = coll + COLLECTIVE_KERNELS[kind].scaled(count)
+    return SMIResourceEstimate(
+        qsfps=qsfps,
+        endpoints=qsfps * endpoints_per_pair,
+        interconnect=interconnect,
+        comm_kernels=comm,
+        collectives=coll,
+        chip=chip,
+    )
+
+
+def table1() -> dict[str, dict[str, object]]:
+    """Reproduce Table 1: transport resources at 1 and 4 QSFPs."""
+    out: dict[str, dict[str, object]] = {}
+    for q in (1, 4):
+        est = estimate(q)
+        total = est.transport_total
+        out[f"{q} QSFP" + ("s" if q > 1 else "")] = {
+            "interconnect": est.interconnect,
+            "comm_kernels": est.comm_kernels,
+            "pct_luts": 100 * est.chip.fraction("luts", total.luts),
+            "pct_ffs": 100 * est.chip.fraction("ffs", total.ffs),
+            "pct_m20ks": 100 * est.chip.fraction("m20ks", total.m20ks),
+        }
+    return out
+
+
+def table2() -> dict[str, dict[str, object]]:
+    """Reproduce Table 2: collective support kernel resources."""
+    chip = STRATIX10_GX2800
+    out = {}
+    for name, vec in (("Broadcast", BCAST_KERNEL),
+                      ("Reduce (FP32 SUM)", REDUCE_KERNEL_FP32_SUM)):
+        out[name] = {
+            "luts": vec.luts,
+            "ffs": vec.ffs,
+            "m20ks": vec.m20ks,
+            "dsps": vec.dsps,
+            "pct_luts": 100 * chip.fraction("luts", vec.luts),
+            "pct_ffs": 100 * chip.fraction("ffs", vec.ffs),
+            "pct_dsps": 100 * chip.fraction("dsps", vec.dsps),
+        }
+    return out

@@ -1,0 +1,102 @@
+"""Wait conditions yielded by simulated hardware processes.
+
+A simulated module is a Python generator. Each ``yield`` hands control back
+to the engine together with a *condition* describing when the process wants
+to run again:
+
+* :data:`TICK` — run again next cycle (models one clock cycle of work).
+* :class:`WaitCycles` — sleep a fixed number of cycles.
+* ``fifo.can_pop`` / ``fifo.can_push`` — run when the FIFO becomes readable /
+  writable (interned per FIFO; see :mod:`repro.simulation.fifo`).
+* :class:`SimEvent` — a broadcast event other processes can trigger.
+
+Processes normally do not yield FIFO conditions directly; they use the
+``yield from fifo.push(x)`` / ``item = yield from fifo.pop()`` helpers which
+implement the one-item-per-cycle handshake of a hardware FIFO port.
+"""
+
+from __future__ import annotations
+
+
+class _Tick:
+    """Singleton condition: resume the process on the next clock cycle."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "TICK"
+
+
+#: The unique "advance one cycle" condition.
+TICK = _Tick()
+
+
+class WaitCycles:
+    """Condition: resume the process after ``cycles`` clock cycles."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int) -> None:
+        if cycles < 1:
+            raise ValueError(f"WaitCycles needs cycles >= 1, got {cycles}")
+        self.cycles = cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"WaitCycles({self.cycles})"
+
+
+class CanPop:
+    """Condition: resume when the FIFO has at least one visible item.
+
+    Interned: obtain via ``fifo.can_pop``, never constructed by user code.
+    """
+
+    __slots__ = ("fifo", "waiters")
+
+    def __init__(self, fifo) -> None:
+        self.fifo = fifo
+        self.waiters: list = []
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CanPop({self.fifo.name})"
+
+
+class CanPush:
+    """Condition: resume when the FIFO has free space.
+
+    Interned: obtain via ``fifo.can_push``, never constructed by user code.
+    """
+
+    __slots__ = ("fifo", "waiters")
+
+    def __init__(self, fifo) -> None:
+        self.fifo = fifo
+        self.waiters: list = []
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CanPush({self.fifo.name})"
+
+
+class SimEvent:
+    """A one-shot broadcast event.
+
+    Processes wait on it by yielding the event; :meth:`set` wakes all current
+    and future waiters (waiting on a set event resumes on the next cycle).
+    """
+
+    __slots__ = ("name", "waiters", "_set", "set_at_cycle")
+
+    def __init__(self, name: str = "event") -> None:
+        self.name = name
+        self.waiters: list = []
+        self._set = False
+        self.set_at_cycle: int | None = None
+
+    @property
+    def is_set(self) -> bool:
+        """Whether the event has been triggered."""
+        return self._set
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        state = "set" if self._set else "unset"
+        return f"SimEvent({self.name}, {state})"

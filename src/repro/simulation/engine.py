@@ -1,0 +1,338 @@
+"""Cycle-accurate, event-skipping simulation engine.
+
+The engine advances a global clock (``engine.cycle``). Hardware modules are
+*processes*: Python generators that yield wait conditions (see
+:mod:`repro.simulation.conditions`). The engine maintains a calendar of
+scheduled process resumptions and pending FIFO commits; when nothing is
+runnable in the current cycle it jumps directly to the next scheduled cycle,
+so idle periods (e.g. a packet in flight on a 100-cycle link) cost O(1)
+instead of O(cycles).
+
+Determinism: processes scheduled for the same cycle run in the order they
+were scheduled (a monotonically increasing sequence number breaks ties), so a
+simulation is exactly reproducible run-to-run.
+
+Termination: ``run()`` returns once every non-daemon process has finished.
+Transport kernels (CKS/CKR, collective support kernels) are spawned as
+*daemons* — they serve forever and do not keep the simulation alive. If live
+non-daemon processes remain but nothing is scheduled, the system is
+deadlocked and the engine raises :class:`~repro.core.errors.DeadlockError`
+with a dump of every blocked process and the condition it waits on — this is
+how the simulator surfaces the cyclic-dependency deadlocks the paper warns
+about in §3.3.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+from ..core.errors import DeadlockError, SimulationError
+from .conditions import TICK, CanPop, CanPush, SimEvent, WaitCycles
+
+#: Safety bound on process steps within a single cycle (combinational loop).
+MAX_STEPS_PER_CYCLE = 10_000
+
+
+class Process:
+    """A running simulated module (wraps a generator)."""
+
+    __slots__ = (
+        "name",
+        "gen",
+        "daemon",
+        "finished",
+        "result",
+        "done",
+        "_token",
+        "_last_step_cycle",
+        "_steps_this_cycle",
+        "_waiting_on",
+    )
+
+    def __init__(self, name: str, gen: Generator, daemon: bool) -> None:
+        self.name = name
+        self.gen = gen
+        self.daemon = daemon
+        self.finished = False
+        self.result: Any = None
+        self.done = SimEvent(f"{name}.done")
+        self._token = 0
+        self._last_step_cycle = -1
+        self._steps_this_cycle = 0
+        self._waiting_on: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        state = "finished" if self.finished else f"waiting on {self._waiting_on!r}"
+        return f"Process({self.name}, {state})"
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Engine.run`."""
+
+    cycles: int
+    reason: str  # "completed" or "max_cycles"
+    processes_finished: int
+    processes_live: int
+
+    @property
+    def completed(self) -> bool:
+        return self.reason == "completed"
+
+
+class Engine:
+    """The cycle-level discrete event engine."""
+
+    def __init__(self) -> None:
+        self.cycle = 0
+        self._seq = 0
+        self._proc_heap: list = []  # (cycle, seq, process, token)
+        self._commit_heap: list = []  # (cycle, seq, fifo)
+        self._commit_pending: set = set()  # (cycle, id(fifo)) dedupe
+        self._processes: list[Process] = []
+        self._fifos: list = []
+        self._live_workers = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        gen_or_fn: Generator | Callable[[], Generator],
+        name: str | None = None,
+        daemon: bool = False,
+        start_cycle: int = 0,
+    ) -> Process:
+        """Register a process; it first runs at ``start_cycle`` (>= now)."""
+        gen = gen_or_fn() if callable(gen_or_fn) else gen_or_fn
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator (got {type(gen_or_fn).__name__}); "
+                "did you forget a 'yield' in the process body?"
+            )
+        proc = Process(name or f"proc{len(self._processes)}", gen, daemon)
+        self._processes.append(proc)
+        if not daemon:
+            self._live_workers += 1
+        self._schedule(proc, max(start_cycle, self.cycle))
+        return proc
+
+    def fifo(self, name: str, capacity: int, latency: int = 1):
+        """Create a :class:`~repro.simulation.fifo.Fifo` owned by this engine."""
+        from .fifo import Fifo
+
+        return Fifo(self, name, capacity, latency)
+
+    def event(self, name: str = "event") -> SimEvent:
+        """Create a :class:`SimEvent` (convenience)."""
+        return SimEvent(name)
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+    def _schedule(self, proc: Process, cycle: int) -> None:
+        proc._token += 1
+        self._seq += 1
+        heapq.heappush(self._proc_heap, (cycle, self._seq, proc, proc._token))
+
+    def _schedule_commit(self, cycle: int, fifo) -> None:
+        key = (cycle, id(fifo))
+        if key in self._commit_pending:
+            return
+        self._commit_pending.add(key)
+        self._seq += 1
+        heapq.heappush(self._commit_heap, (cycle, self._seq, fifo))
+
+    def _wake_all(self, condition, delay: int) -> None:
+        """Wake every valid waiter of ``condition`` after ``delay`` cycles."""
+        waiters = condition.waiters
+        if not waiters:
+            return
+        target = self.cycle + delay
+        for proc, token in waiters:
+            if not proc.finished and token == proc._token:
+                proc._waiting_on = None
+                self._schedule(proc, target)
+        waiters.clear()
+
+    def set_event(self, event: SimEvent) -> None:
+        """Trigger ``event``, waking all waiters in the current cycle."""
+        if event._set:
+            return
+        event._set = True
+        event.set_at_cycle = self.cycle
+        self._wake_all(event, delay=0)
+
+    def _register_fifo(self, fifo) -> None:
+        self._fifos.append(fifo)
+
+    # ------------------------------------------------------------------
+    # Condition dispatch
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _satisfied(cond) -> bool:
+        kind = type(cond)
+        if kind is CanPop:
+            return cond.fifo.readable
+        if kind is CanPush:
+            return cond.fifo.writable
+        if kind is SimEvent:
+            return cond._set
+        raise SimulationError(f"process yielded unsupported condition: {cond!r}")
+
+    def _block(self, proc: Process, conds) -> None:
+        entry = (proc, proc._token)
+        for cond in conds:
+            cond.waiters.append(entry)
+        proc._waiting_on = conds if len(conds) > 1 else conds[0]
+
+    def _dispatch(self, proc: Process, cond) -> None:
+        """Handle the condition a process yielded."""
+        if cond is TICK or cond is None:
+            self._schedule(proc, self.cycle + 1)
+            return
+        kind = type(cond)
+        if kind is WaitCycles:
+            self._schedule(proc, self.cycle + cond.cycles)
+            return
+        if kind is tuple or kind is list:
+            if any(self._satisfied(c) for c in cond):
+                self._schedule(proc, self.cycle)
+            else:
+                self._block(proc, cond)
+            return
+        if self._satisfied(cond):
+            self._schedule(proc, self.cycle)
+        else:
+            self._block(proc, (cond,))
+
+    def _step(self, proc: Process) -> None:
+        if proc._last_step_cycle == self.cycle:
+            proc._steps_this_cycle += 1
+            if proc._steps_this_cycle > MAX_STEPS_PER_CYCLE:
+                raise SimulationError(
+                    f"process {proc.name!r} stepped >{MAX_STEPS_PER_CYCLE} "
+                    f"times in cycle {self.cycle}: combinational loop? "
+                    "(a process must yield TICK to make progress)"
+                )
+        else:
+            proc._last_step_cycle = self.cycle
+            proc._steps_this_cycle = 1
+        try:
+            cond = proc.gen.send(None)
+        except StopIteration as stop:
+            proc.finished = True
+            proc.result = stop.value
+            if not proc.daemon:
+                self._live_workers -= 1
+            self.set_event(proc.done)
+            return
+        except Exception as exc:
+            exc.add_note(
+                f"(raised by simulated process {proc.name!r} at cycle "
+                f"{self.cycle})"
+            )
+            raise
+        self._dispatch(proc, cond)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int | None = None) -> RunResult:
+        """Run until all non-daemon processes finish (or ``max_cycles``).
+
+        Raises
+        ------
+        DeadlockError
+            If live non-daemon processes remain but nothing can ever run.
+        """
+        proc_heap = self._proc_heap
+        commit_heap = self._commit_heap
+        while True:
+            if self._live_workers == 0:
+                return self._result("completed")
+            # --- find the next cycle with activity -----------------------
+            next_cycle = None
+            # Skip stale process entries at the heap top.
+            while proc_heap:
+                cyc, _seq, proc, token = proc_heap[0]
+                if proc.finished or token != proc._token:
+                    heapq.heappop(proc_heap)
+                    continue
+                next_cycle = cyc
+                break
+            if commit_heap and (next_cycle is None or commit_heap[0][0] < next_cycle):
+                next_cycle = commit_heap[0][0]
+            if next_cycle is None:
+                raise self._deadlock()
+            if max_cycles is not None and next_cycle > max_cycles:
+                self.cycle = max_cycles
+                return self._result("max_cycles")
+            self.cycle = next_cycle
+            # --- phase 1: FIFO commits due this cycle ---------------------
+            while commit_heap and commit_heap[0][0] <= next_cycle:
+                cyc, _seq, fifo = heapq.heappop(commit_heap)
+                self._commit_pending.discard((cyc, id(fifo)))
+                fifo._commit(next_cycle)
+            # --- phase 2: step every process scheduled for this cycle ----
+            while proc_heap and proc_heap[0][0] == next_cycle:
+                _cyc, _seq, proc, token = heapq.heappop(proc_heap)
+                if proc.finished or token != proc._token:
+                    continue
+                self._step(proc)
+
+    def _result(self, reason: str) -> RunResult:
+        done = sum(1 for p in self._processes if p.finished)
+        return RunResult(
+            cycles=self.cycle,
+            reason=reason,
+            processes_finished=done,
+            processes_live=self._live_workers,
+        )
+
+    def _deadlock(self) -> DeadlockError:
+        blocked = [
+            f"  - {p.name}: waiting on {p._waiting_on!r}"
+            for p in self._processes
+            if not p.finished and p._waiting_on is not None
+        ]
+        detail = "\n".join(blocked) if blocked else "  (no blocked processes?)"
+        return DeadlockError(
+            f"simulation deadlocked at cycle {self.cycle}: "
+            f"{self._live_workers} worker process(es) can never run again.\n"
+            f"Blocked processes:\n{detail}\n"
+            "Hint: SMI sends are non-local (§3.3) — check for cyclic "
+            "send/receive dependencies or undersized channel buffers."
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> list[Process]:
+        return list(self._processes)
+
+    @property
+    def fifos(self) -> list:
+        return list(self._fifos)
+
+    def fifo_stats(self) -> dict[str, dict[str, Any]]:
+        """Per-FIFO statistics snapshot (for reports and tests)."""
+        return {
+            f.name: {
+                "pushes": f.pushes,
+                "pops": f.pops,
+                "max_occupancy": f.max_occupancy,
+                "capacity": f.capacity,
+                "latency": f.latency,
+            }
+            for f in self._fifos
+        }
+
+
+def drain_cycles(n: int) -> Iterable:
+    """Helper generator fragment: busy-wait ``n`` cycles (yield from it)."""
+    if n > 0:
+        yield WaitCycles(n)

@@ -1,0 +1,217 @@
+"""Registered FIFO channels between simulated hardware modules.
+
+These model the on-chip FIFO buffers that SMI uses everywhere (§4.2): between
+application endpoints and communication kernels, between communication
+kernels, and — with a larger latency — the inter-FPGA serial links themselves.
+
+Semantics (matching a hardware FIFO with registered full/empty flags):
+
+* An item *staged* (pushed) in cycle ``t`` becomes *visible* to the consumer
+  at cycle ``t + latency`` (default latency 1 — the classic one-cycle
+  handoff). A link is simply a FIFO whose latency is the wire delay.
+* ``capacity`` bounds the total number of items in flight (visible + staged).
+  A full FIFO exerts backpressure: ``push`` blocks, which is how stalls
+  propagate through a pipelined design.
+* One push and one pop per port per cycle: the ``push``/``pop`` helper
+  generators each consume one simulated cycle per item, exactly like an HLS
+  pipeline with initiation interval 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from ..core.errors import SimulationError
+from .conditions import TICK, CanPop, CanPush
+
+
+class Fifo:
+    """A bounded FIFO with registered (cycle-delayed) visibility.
+
+    Parameters
+    ----------
+    engine:
+        The owning :class:`~repro.simulation.engine.Engine`.
+    name:
+        Diagnostic name (shows up in deadlock reports and stats).
+    capacity:
+        Maximum items in flight. Must be >= 1.
+    latency:
+        Cycles between staging an item and it becoming visible. Must be >= 1
+        (hardware handoff takes at least one cycle); links use larger values.
+    """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "capacity",
+        "latency",
+        "_visible",
+        "_staged",
+        "can_pop",
+        "can_push",
+        "pushes",
+        "pops",
+        "max_occupancy",
+        "first_push_cycle",
+        "last_pop_cycle",
+    )
+
+    def __init__(self, engine, name: str, capacity: int, latency: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"fifo {name!r}: capacity must be >= 1")
+        if latency < 1:
+            raise SimulationError(f"fifo {name!r}: latency must be >= 1")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self.latency = latency
+        self._visible: deque = deque()
+        self._staged: deque = deque()  # entries: (ready_cycle, item)
+        self.can_pop = CanPop(self)
+        self.can_push = CanPush(self)
+        # --- statistics ---
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+        self.first_push_cycle: int | None = None
+        self.last_pop_cycle: int | None = None
+        engine._register_fifo(self)
+
+    # ------------------------------------------------------------------
+    # Combinational status (as seen by processes in the current cycle)
+    # ------------------------------------------------------------------
+    @property
+    def readable(self) -> bool:
+        """True if at least one item is visible this cycle."""
+        return bool(self._visible)
+
+    @property
+    def writable(self) -> bool:
+        """True if there is room for one more item (visible + staged)."""
+        return len(self._visible) + len(self._staged) < self.capacity
+
+    @property
+    def occupancy(self) -> int:
+        """Total items in flight (visible + staged)."""
+        return len(self._visible) + len(self._staged)
+
+    def wait_writable(self):
+        """Condition to yield while not writable (see also Link pacing)."""
+        return self.can_push
+
+    def wait_readable(self):
+        """Condition to yield while not readable."""
+        return self.can_pop
+
+    def __len__(self) -> int:
+        return len(self._visible)
+
+    # ------------------------------------------------------------------
+    # Raw single-cycle operations (used by the handshake helpers below and
+    # by modules that interleave several FIFO operations in one cycle).
+    # ------------------------------------------------------------------
+    def stage(self, item: Any) -> None:
+        """Stage one item this cycle; it becomes visible ``latency`` later.
+
+        The caller must have checked :attr:`writable`; staging into a full
+        FIFO is a simulation bug and raises.
+        """
+        if not self.writable:
+            raise SimulationError(f"fifo {self.name!r}: stage() while full")
+        ready = self.engine.cycle + self.latency
+        self._staged.append((ready, item))
+        self.engine._schedule_commit(ready, self)
+        self.pushes += 1
+        if self.first_push_cycle is None:
+            self.first_push_cycle = self.engine.cycle
+        occ = self.occupancy
+        if occ > self.max_occupancy:
+            self.max_occupancy = occ
+
+    def take(self) -> Any:
+        """Remove and return the oldest visible item (must be readable)."""
+        if not self._visible:
+            raise SimulationError(f"fifo {self.name!r}: take() while empty")
+        item = self._visible.popleft()
+        self.pops += 1
+        self.last_pop_cycle = self.engine.cycle
+        # Space freed: wake any blocked producers (registered flag -> next
+        # cycle, handled by the engine's wake scheduling).
+        if self.can_push.waiters:
+            self.engine._wake_all(self.can_push, delay=1)
+        return item
+
+    def peek(self) -> Any:
+        """Return (without removing) the oldest visible item."""
+        if not self._visible:
+            raise SimulationError(f"fifo {self.name!r}: peek() while empty")
+        return self._visible[0]
+
+    # ------------------------------------------------------------------
+    # Handshake helpers: one item per cycle, blocking on full/empty.
+    # ------------------------------------------------------------------
+    def push(self, item: Any) -> Generator:
+        """Generator: block until writable, stage ``item``, spend one cycle."""
+        while not self.writable:
+            yield self.can_push
+        self.stage(item)
+        yield TICK
+
+    def pop(self) -> Generator:
+        """Generator: block until readable, take one item, spend one cycle."""
+        while not self.readable:
+            yield self.can_pop
+        item = self.take()
+        yield TICK
+        return item
+
+    def push_many(self, items) -> Generator:
+        """Push a sequence of items, one per cycle."""
+        for item in items:
+            while not self.writable:
+                yield self.can_push
+            self.stage(item)
+            yield TICK
+
+    def pop_many(self, count: int) -> Generator:
+        """Pop ``count`` items (one per cycle) and return them as a list."""
+        out = []
+        for _ in range(count):
+            while not self.readable:
+                yield self.can_pop
+            out.append(self.take())
+            yield TICK
+        return out
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+    def _commit(self, cycle: int) -> None:
+        """Move staged items whose ready time has arrived into view."""
+        staged = self._staged
+        visible = self._visible
+        moved = False
+        while staged and staged[0][0] <= cycle:
+            visible.append(staged.popleft()[1])
+            moved = True
+        if moved and self.can_pop.waiters:
+            self.engine._wake_all(self.can_pop, delay=0)
+
+    def _next_commit_cycle(self) -> int | None:
+        """Cycle of the earliest pending staged item, if any."""
+        return self._staged[0][0] if self._staged else None
+
+    def drain(self) -> list:
+        """Remove and return all items (visible and staged); test helper."""
+        items = list(self._visible) + [item for _, item in self._staged]
+        self._visible.clear()
+        self._staged.clear()
+        return items
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Fifo({self.name}, {len(self._visible)}+{len(self._staged)}"
+            f"/{self.capacity})"
+        )

@@ -1,0 +1,221 @@
+"""Transport construction: from program metadata to running hardware.
+
+This is the simulator-side equivalent of the paper's code generator output
+(Fig. 8): given the per-rank operation metadata, the topology and the routing
+tables, instantiate every CKS/CKR pair, endpoint FIFO, inter-CK connection
+and collective support kernel, and spawn them as daemon processes.
+
+Per rank, one CKS/CKR pair is created for every *used* network interface
+(the wired ones, or a single loopback pair for an isolated rank) — matching
+Table 1's configurations, where a 1-QSFP build instantiates one pair and a
+4-QSFP build four pairs plus the quadratically growing interconnect.
+
+Ports are assigned to interfaces round-robin in ascending port order, so the
+load of multiple endpoints spreads across the CKS/CKR pairs; the assignment
+is deterministic and derivable by every rank from the metadata alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..codegen.metadata import OpDecl, ProgramPlan, RankPlan
+from ..core.config import HardwareConfig
+from ..core.errors import CodegenError
+from ..network.fabric import Fabric
+from ..network.routing import Routes
+from ..simulation.engine import Engine
+from ..simulation.fifo import Fifo
+from .ck import CKR, CKS
+from .collectives import SupportKernel, kernel_class
+
+
+@dataclass
+class RankTransport:
+    """Handles into one rank's transport hardware, used by the API layer."""
+
+    rank: int
+    active_ifaces: list[int]
+    iface_of_port: dict[int, int]
+    send_endpoints: dict[int, Fifo] = field(default_factory=dict)
+    recv_endpoints: dict[int, Fifo] = field(default_factory=dict)
+    coll_ctrl: dict[int, Fifo] = field(default_factory=dict)
+    coll_app_in: dict[int, Fifo] = field(default_factory=dict)
+    coll_app_out: dict[int, Fifo] = field(default_factory=dict)
+    support_kernels: dict[int, SupportKernel] = field(default_factory=dict)
+    cks: dict[int, CKS] = field(default_factory=dict)
+    ckr: dict[int, CKR] = field(default_factory=dict)
+    ops_by_port: dict[tuple[str, int], OpDecl] = field(default_factory=dict)
+
+    def send_endpoint(self, port: int) -> Fifo:
+        try:
+            return self.send_endpoints[port]
+        except KeyError:
+            raise CodegenError(
+                f"rank {self.rank}: no send endpoint declared on port {port} "
+                "(all ports must be known at build time, §2.2)"
+            ) from None
+
+    def recv_endpoint(self, port: int) -> Fifo:
+        try:
+            return self.recv_endpoints[port]
+        except KeyError:
+            raise CodegenError(
+                f"rank {self.rank}: no receive endpoint declared on port "
+                f"{port} (all ports must be known at build time, §2.2)"
+            ) from None
+
+
+@dataclass
+class Transport:
+    """The whole cluster's transport: per-rank handles plus shared fabric."""
+
+    config: HardwareConfig
+    routes: Routes
+    fabric: Fabric
+    ranks: dict[int, RankTransport]
+
+    def rank(self, rank: int) -> RankTransport:
+        return self.ranks[rank]
+
+
+def _endpoint_depth(config: HardwareConfig, decl: OpDecl | None) -> int:
+    if decl is not None and decl.buffer_depth is not None:
+        return decl.buffer_depth
+    return config.endpoint_fifo_depth
+
+
+def build_transport(
+    engine: Engine,
+    plan: ProgramPlan,
+    routes: Routes,
+    config: HardwareConfig,
+    validate_wire: bool = False,
+) -> Transport:
+    """Instantiate and spawn the full transport for ``plan``."""
+    plan.validate()
+    topology = routes.topology
+    if plan.num_ranks > topology.num_ranks:
+        raise CodegenError(
+            f"program uses {plan.num_ranks} ranks but topology "
+            f"{topology.name!r} has only {topology.num_ranks}"
+        )
+    fabric = Fabric(engine, topology, config, validate_wire=validate_wire)
+    ranks: dict[int, RankTransport] = {}
+
+    for rank in range(plan.num_ranks):
+        rank_plan = plan.rank_plans.get(rank, RankPlan(rank))
+        active = topology.interfaces_of(rank) or [0]
+        ports = rank_plan.ports
+        iface_of_port = {
+            port: active[idx % len(active)] for idx, port in enumerate(ports)
+        }
+        rt = RankTransport(rank=rank, active_ifaces=active,
+                           iface_of_port=iface_of_port)
+        ranks[rank] = rt
+
+        send_decls = rank_plan.send_ports()
+        recv_decls = rank_plan.recv_ports()
+        for kind_map, kind in ((send_decls, "send"), (recv_decls, "recv")):
+            for port, decl in kind_map.items():
+                rt.ops_by_port[(kind, port)] = decl
+
+        # --- endpoint FIFOs ------------------------------------------------
+        # Endpoint FIFOs carry the HLS interface pipeline latency; their
+        # capacity covers depth + latency so pipelining never throttles
+        # the declared buffer depth (asynchronicity degree, §3.3).
+        ep_lat = config.endpoint_latency_cycles
+        for port, decl in send_decls.items():
+            depth = _endpoint_depth(config, decl)
+            rt.send_endpoints[port] = engine.fifo(
+                f"rank{rank}.send_ep{port}",
+                capacity=depth + ep_lat, latency=ep_lat,
+            )
+        for port, decl in recv_decls.items():
+            depth = _endpoint_depth(config, decl)
+            rt.recv_endpoints[port] = engine.fifo(
+                f"rank{rank}.recv_ep{port}",
+                capacity=depth + ep_lat, latency=ep_lat,
+            )
+
+        # --- inter-CK FIFOs -------------------------------------------------
+        depth = config.inter_ck_fifo_depth
+        cks2cks = {
+            (i, j): engine.fifo(f"rank{rank}.cks{i}->cks{j}", depth)
+            for i in active for j in active if i != j
+        }
+        ckr2ckr = {
+            (i, j): engine.fifo(f"rank{rank}.ckr{i}->ckr{j}", depth)
+            for i in active for j in active if i != j
+        }
+        ckr2cks = {i: engine.fifo(f"rank{rank}.ckr{i}->cks{i}", depth)
+                   for i in active}
+        cks2ckr = {i: engine.fifo(f"rank{rank}.cks{i}->ckr{i}", depth)
+                   for i in active}
+
+        # --- communication kernels ------------------------------------------
+        egress = routes.next_iface[rank]
+        port_home = dict(iface_of_port)
+        for i in active:
+            send_inputs = [
+                rt.send_endpoints[p]
+                for p in sorted(rt.send_endpoints)
+                if iface_of_port[p] == i
+            ]
+            cks_inputs = (
+                send_inputs
+                + [ckr2cks[i]]
+                + [cks2cks[(j, i)] for j in active if j != i]
+            )
+            cks = CKS(
+                rank=rank, iface=i, inputs=cks_inputs,
+                net_link=fabric.outgoing(rank, i),
+                to_paired_ckr=cks2ckr[i],
+                to_other_cks={j: cks2cks[(i, j)] for j in active if j != i},
+                egress_iface=egress,
+                read_burst=config.read_burst,
+            )
+            rt.cks[i] = cks
+            engine.spawn(cks.process(engine), cks.name, daemon=True)
+
+            net_in = fabric.incoming(rank, i)
+            ckr_inputs = (
+                ([net_in.fifo] if net_in is not None else [])
+                + [ckr2ckr[(j, i)] for j in active if j != i]
+                + [cks2ckr[i]]
+            )
+            ckr = CKR(
+                rank=rank, iface=i, inputs=ckr_inputs,
+                to_paired_cks=ckr2cks[i],
+                to_other_ckr={j: ckr2ckr[(i, j)] for j in active if j != i},
+                port_home_iface=port_home,
+                recv_endpoints={
+                    p: f for p, f in rt.recv_endpoints.items()
+                    if iface_of_port[p] == i
+                },
+                read_burst=config.read_burst,
+            )
+            rt.ckr[i] = ckr
+            engine.spawn(ckr.process(engine), ckr.name, daemon=True)
+
+        # --- collective support kernels --------------------------------------
+        for decl in rank_plan.collective_ops():
+            port = decl.port
+            elem_capacity = config.endpoint_fifo_depth * decl.dtype.elements_per_packet
+            ctrl = engine.fifo(f"rank{rank}.coll_ctrl{port}", capacity=4)
+            app_in = engine.fifo(f"rank{rank}.coll_in{port}", capacity=elem_capacity)
+            app_out = engine.fifo(f"rank{rank}.coll_out{port}", capacity=elem_capacity)
+            rt.coll_ctrl[port] = ctrl
+            rt.coll_app_in[port] = app_in
+            rt.coll_app_out[port] = app_out
+            kernel_cls = kernel_class(decl.kind, decl.scheme)
+            kernel = kernel_cls(
+                rank=rank, port=port, dtype=decl.dtype, config=config,
+                ctrl=ctrl, app_in=app_in, app_out=app_out,
+                send_ep=rt.send_endpoints[port],
+                recv_ep=rt.recv_endpoints[port],
+            )
+            rt.support_kernels[port] = kernel
+            engine.spawn(kernel.process(engine), kernel.name, daemon=True)
+
+    return Transport(config=config, routes=routes, fabric=fabric, ranks=ranks)

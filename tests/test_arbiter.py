@@ -1,0 +1,174 @@
+"""Unit tests for the R-burst polling arbiter (§4.3, Table 4 mechanism)."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulation import TICK, Engine, WaitCycles
+from repro.transport.arbiter import PollingArbiter
+
+
+def _run_arbiter(eng, inputs, read_burst, out, stop_after):
+    """Spawn an arbiter that forwards packets into ``out`` list."""
+    arb = PollingArbiter(inputs, read_burst)
+
+    def forward(pkt):
+        out.append((eng.cycle, pkt))
+        yield TICK
+
+    eng.spawn(arb.run(forward, eng), "arb", daemon=True)
+    return arb
+
+
+def _spawn_drain_waiter(eng, out, n):
+    """Keep the simulation alive until ``n`` packets were accepted."""
+
+    def waiter():
+        while len(out) < n:
+            yield WaitCycles(8)
+
+    eng.spawn(waiter, "drain-waiter")
+
+
+def test_requires_inputs_and_positive_burst():
+    eng = Engine()
+    f = eng.fifo("f", capacity=2)
+    with pytest.raises(SimulationError):
+        PollingArbiter([], 1)
+    with pytest.raises(SimulationError):
+        PollingArbiter([f], 0)
+
+
+def test_single_input_sustains_one_per_cycle():
+    eng = Engine()
+    f = eng.fifo("f", capacity=16)
+    out = []
+    _run_arbiter(eng, [f], read_burst=8, out=out, stop_after=None)
+
+    def producer():
+        for i in range(20):
+            yield from f.push(i)
+
+    eng.spawn(producer, "p")
+    _spawn_drain_waiter(eng, out, 20)
+    eng.run()
+    assert len(out) == 20
+    gaps = [b[0] - a[0] for a, b in zip(out, out[1:])]
+    # With one input there is nothing else to poll: back-to-back accepts.
+    assert all(g == 1 for g in gaps[2:])
+
+
+@pytest.mark.parametrize("R,expected_gap", [(1, 5.0), (4, 2.0), (8, 1.5), (16, 1.25)])
+def test_injection_gap_formula_five_inputs(R, expected_gap):
+    """One active input among five: average accept gap = (R + 4) / R.
+
+    This is the polling arithmetic underlying Table 4 (5 inputs at a CKS
+    with 4 QSFPs: the application, the paired CKR, and 3 other CKS).
+    """
+    eng = Engine()
+    active = eng.fifo("active", capacity=64)
+    idles = [eng.fifo(f"idle{i}", capacity=4) for i in range(4)]
+    out = []
+    _run_arbiter(eng, [active] + idles, read_burst=R, out=out, stop_after=None)
+
+    n = 200
+
+    def producer():
+        for i in range(n):
+            yield from active.push(i)
+
+    eng.spawn(producer, "p")
+    _spawn_drain_waiter(eng, out, n)
+    eng.run()
+    assert len(out) == n
+    # Steady-state average gap (skip warmup).
+    cycles = [c for c, _ in out]
+    steady = cycles[20:]
+    avg = (steady[-1] - steady[0]) / (len(steady) - 1)
+    assert avg == pytest.approx(expected_gap, rel=0.1)
+
+
+def test_round_robin_fairness_two_active():
+    eng = Engine()
+    a = eng.fifo("a", capacity=64)
+    b = eng.fifo("b", capacity=64)
+    out = []
+    _run_arbiter(eng, [a, b], read_burst=2, out=out, stop_after=None)
+
+    def producer(f, tag, n):
+        def proc():
+            for i in range(n):
+                yield from f.push((tag, i))
+
+        return proc
+
+    eng.spawn(producer(a, "a", 40), "pa")
+    eng.spawn(producer(b, "b", 40), "pb")
+    _spawn_drain_waiter(eng, out, 80)
+    eng.run()
+    tags = [pkt[0] for _, pkt in out]
+    assert tags.count("a") == 40 and tags.count("b") == 40
+    # With burst 2, the arbiter alternates in blocks of at most 2.
+    max_run = 1
+    run = 1
+    for x, y in zip(tags, tags[1:]):
+        run = run + 1 if x == y else 1
+        max_run = max(max_run, run)
+    assert max_run <= 3  # 2 from burst, +1 slack for refill timing
+
+
+def test_parks_when_all_inputs_idle():
+    # The arbiter must not keep the engine busy when nothing is flowing:
+    # a worker sleeping 10k cycles should end the run at exactly 10k.
+    eng = Engine()
+    f1 = eng.fifo("f1", capacity=4)
+    f2 = eng.fifo("f2", capacity=4)
+    out = []
+    _run_arbiter(eng, [f1, f2], read_burst=1, out=out, stop_after=None)
+
+    def worker():
+        yield WaitCycles(10_000)
+
+    eng.spawn(worker, "w")
+    result = eng.run()
+    assert result.cycles == 10_000
+    assert out == []
+
+
+def test_wakeup_charges_scan_distance():
+    # After idling, a packet arriving on input k is accepted only after the
+    # pointer scans to it — timing matches literal polling hardware.
+    eng = Engine()
+    inputs = [eng.fifo(f"f{i}", capacity=4) for i in range(5)]
+    out = []
+    _run_arbiter(eng, inputs, read_burst=1, out=out, stop_after=None)
+
+    def producer():
+        yield WaitCycles(100)
+        inputs[3].stage("x")
+        yield None
+
+    eng.spawn(producer, "p")
+    _spawn_drain_waiter(eng, out, 1)
+    eng.run()
+    assert len(out) == 1
+    accept_cycle = out[0][0]
+    # Staged at 100, visible at 101; pointer position after the initial
+    # scan is deterministic; acceptance happens within a poll round.
+    assert 101 <= accept_cycle <= 101 + len(inputs)
+
+
+def test_accept_counter():
+    eng = Engine()
+    f = eng.fifo("f", capacity=8)
+    out = []
+    arb = _run_arbiter(eng, [f], read_burst=4, out=out, stop_after=None)
+
+    def producer():
+        for i in range(9):
+            yield from f.push(i)
+
+    eng.spawn(producer, "p")
+    _spawn_drain_waiter(eng, out, 9)
+    eng.run()
+    assert arb.packets_accepted == 9
+    assert len(arb.accept_cycles) == 9

@@ -1,0 +1,175 @@
+"""Edge-case tests for channel descriptors and the context API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SMI_FLOAT,
+    SMI_INT,
+    ChannelError,
+    ConfigurationError,
+    MessageOverrunError,
+    SMIProgram,
+    bus,
+)
+from repro.codegen.metadata import OpDecl
+
+P2P = [OpDecl("send", 0, SMI_INT), OpDecl("recv", 0, SMI_INT)]
+
+
+def _run(kernel0, kernel1=None, ops0=None, ops1=None, max_cycles=500_000):
+    prog = SMIProgram(bus(2))
+    prog.add_kernel(kernel0, rank=0, ops=ops0 if ops0 is not None else P2P)
+    if kernel1 is not None:
+        prog.add_kernel(kernel1, rank=1,
+                        ops=ops1 if ops1 is not None else P2P)
+    return prog.run(max_cycles=max_cycles)
+
+
+def test_zero_count_channel_is_immediately_closed():
+    def kernel(smi):
+        ch = smi.open_send_channel(0, SMI_INT, 1, 0)
+        assert ch.closed
+        assert ch.elements_sent == 0
+        with pytest.raises(MessageOverrunError):
+            yield from smi.push(ch, 1)
+
+    res = _run(kernel, ops0=[OpDecl("send", 0, SMI_INT)])
+
+
+def test_negative_count_rejected():
+    def kernel(smi):
+        smi.open_send_channel(-1, SMI_INT, 1, 0)
+        yield None
+
+    with pytest.raises(ChannelError, match="count"):
+        _run(kernel, ops0=[OpDecl("send", 0, SMI_INT)])
+
+
+def test_channel_progress_counters():
+    def sender(smi):
+        ch = smi.open_send_channel(10, SMI_INT, 1, 0)
+        for i in range(10):
+            assert ch.elements_sent == i
+            assert not ch.closed
+            yield from smi.push(ch, i)
+        assert ch.closed
+
+    def receiver(smi):
+        ch = smi.open_recv_channel(10, SMI_INT, 0, 0)
+        for i in range(10):
+            assert ch.elements_received == i
+            yield from smi.pop(ch)
+        assert ch.closed
+
+    res = _run(sender, receiver, ops0=[OpDecl("send", 0, SMI_INT)],
+               ops1=[OpDecl("recv", 0, SMI_INT)])
+    assert res.completed
+
+
+def test_push_vec_rejects_bad_width():
+    def kernel(smi):
+        ch = smi.open_send_channel(8, SMI_INT, 1, 0)
+        yield from ch.push_vec(np.arange(8, dtype=np.int32), width=0)
+
+    with pytest.raises(ChannelError, match="width"):
+        _run(kernel, ops0=[OpDecl("send", 0, SMI_INT)])
+
+
+def test_push_vec_overrun_detected_before_any_send():
+    def kernel(smi):
+        ch = smi.open_send_channel(4, SMI_INT, 1, 0)
+        yield from ch.push_vec(np.arange(5, dtype=np.int32))
+
+    with pytest.raises(MessageOverrunError):
+        _run(kernel, ops0=[OpDecl("send", 0, SMI_INT)])
+
+
+def test_pop_vec_overrun_detected():
+    def sender(smi):
+        ch = smi.open_send_channel(4, SMI_INT, 1, 0)
+        yield from ch.push_vec(np.arange(4, dtype=np.int32))
+
+    def receiver(smi):
+        ch = smi.open_recv_channel(4, SMI_INT, 0, 0)
+        yield from ch.pop_vec(5)
+
+    with pytest.raises(MessageOverrunError):
+        _run(sender, receiver, ops0=[OpDecl("send", 0, SMI_INT)],
+             ops1=[OpDecl("recv", 0, SMI_INT)])
+
+
+def test_pop_vec_partial_then_elementwise():
+    def sender(smi):
+        ch = smi.open_send_channel(10, SMI_INT, 1, 0)
+        yield from ch.push_vec(np.arange(10, dtype=np.int32) * 2)
+
+    def receiver(smi):
+        ch = smi.open_recv_channel(10, SMI_INT, 0, 0)
+        head = yield from ch.pop_vec(6, width=3)
+        tail = []
+        for _ in range(4):
+            v = yield from ch.pop()
+            tail.append(int(v))
+        smi.store("out", list(head) + tail)
+
+    res = _run(sender, receiver, ops0=[OpDecl("send", 0, SMI_INT)],
+               ops1=[OpDecl("recv", 0, SMI_INT)])
+    assert res.store(1, "out") == [2 * i for i in range(10)]
+
+
+def test_destination_out_of_communicator_rejected():
+    def kernel(smi):
+        smi.open_send_channel(4, SMI_INT, 7, 0)  # world has 2 ranks
+        yield None
+
+    with pytest.raises(ConfigurationError, match="out of range"):
+        _run(kernel, ops0=[OpDecl("send", 0, SMI_INT)])
+
+
+def test_context_wait_rejects_nonpositive():
+    def kernel(smi):
+        yield smi.wait(0)
+
+    with pytest.raises(ConfigurationError):
+        _run(kernel, ops0=[])
+
+
+def test_comm_rank_and_size_helpers():
+    prog = SMIProgram(bus(4))
+
+    def kernel(smi):
+        assert smi.comm_size() == 4
+        assert smi.comm_rank() == smi.rank
+        sub = smi.comm_world.sub([3, 1])
+        if smi.rank in (1, 3):
+            assert smi.comm_size(sub) == 2
+            assert smi.comm_rank(sub) == (0 if smi.rank == 3 else 1)
+        smi.store("ok", True)
+        yield None
+
+    prog.add_kernel(kernel, ranks="all", ops=[])
+    res = prog.run(max_cycles=1000)
+    assert all(res.store(r, "ok") for r in range(4))
+
+
+def test_program_generate_report():
+    prog = SMIProgram(bus(2))
+
+    @prog.kernel(rank=0)
+    def sender(smi):
+        ch = smi.open_send_channel(4, SMI_FLOAT, 1, 2)
+        for i in range(4):
+            yield from smi.push(ch, float(i))
+
+    @prog.kernel(rank=1)
+    def receiver(smi):
+        ch = smi.open_recv_channel(4, SMI_FLOAT, 0, 2)
+        for _ in range(4):
+            yield from smi.pop(ch)
+
+    report = prog.generate_report()
+    assert report.num_ranks == 2
+    assert 2 in report.ranks[0].send_endpoints
+    assert 2 in report.ranks[1].recv_endpoints
+    assert report.ranks[0].resources.total.luts > 0

@@ -1,0 +1,66 @@
+"""Unit tests for communicators."""
+
+import pytest
+
+from repro import SMIComm
+from repro.core.errors import ConfigurationError
+
+
+def test_world_communicator():
+    comm = SMIComm.world(8)
+    assert comm.size == 8
+    assert comm.ranks == tuple(range(8))
+    for r in range(8):
+        assert comm.comm_rank_of(r) == r
+        assert comm.global_rank(r) == r
+
+
+def test_sub_communicator_translation():
+    world = SMIComm.world(8)
+    sub = world.sub([3, 5, 7])
+    assert sub.size == 3
+    assert sub.global_rank(0) == 3
+    assert sub.global_rank(2) == 7
+    assert sub.comm_rank_of(5) == 1
+    assert sub.contains(5)
+    assert not sub.contains(0)
+
+
+def test_sub_of_sub():
+    world = SMIComm.world(8)
+    sub = world.sub([1, 3, 5, 7]).sub([0, 3])
+    assert sub.ranks == (1, 7)
+
+
+def test_reordered_communicator():
+    comm = SMIComm((4, 0, 2))
+    assert comm.comm_rank_of(4) == 0
+    assert comm.comm_rank_of(2) == 2
+    assert comm.global_rank(1) == 0
+
+
+def test_empty_communicator_rejected():
+    with pytest.raises(ConfigurationError):
+        SMIComm(())
+
+
+def test_duplicate_ranks_rejected():
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        SMIComm((1, 1, 2))
+
+
+def test_negative_rank_rejected():
+    with pytest.raises(ConfigurationError):
+        SMIComm((0, -1))
+
+
+def test_unknown_global_rank():
+    comm = SMIComm((0, 2))
+    with pytest.raises(ConfigurationError, match="not in communicator"):
+        comm.comm_rank_of(1)
+
+
+def test_comm_rank_out_of_range():
+    comm = SMIComm((0, 2))
+    with pytest.raises(ConfigurationError, match="out of range"):
+        comm.global_rank(5)

@@ -1,0 +1,99 @@
+"""Unit tests for the hardware configuration model."""
+
+import pytest
+
+from repro.core.config import (
+    NOCTUA,
+    NOCTUA_KERNEL_CLOCKS,
+    NOCTUA_MEMORY,
+    HardwareConfig,
+    KernelClockModel,
+    MemoryConfig,
+)
+from repro.core.errors import ConfigurationError
+
+
+def test_default_clock_gives_qsfp_line_rate():
+    # One 32 B packet per cycle at 156.25 MHz == 40 Gbit/s (§5.1).
+    assert NOCTUA.link_raw_bandwidth_bps == pytest.approx(40e9)
+
+
+def test_payload_peak_matches_paper():
+    # "35Gbit/s when taking the 4 B header of each network [packet] into
+    # account" (§5.3.1).
+    assert NOCTUA.link_payload_bandwidth_bps == pytest.approx(35e9)
+
+
+def test_cycle_time_roundtrip():
+    cycles = 12345
+    assert NOCTUA.seconds_to_cycles(NOCTUA.cycles_to_seconds(cycles)) == cycles
+
+
+def test_cycles_to_us():
+    assert NOCTUA.cycles_to_us(NOCTUA.clock_hz) == pytest.approx(1e6)
+
+
+def test_with_replaces_fields():
+    cfg = NOCTUA.with_(read_burst=16)
+    assert cfg.read_burst == 16
+    assert cfg.clock_hz == NOCTUA.clock_hz
+    assert NOCTUA.read_burst == 8  # original untouched
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"clock_hz": 0},
+        {"clock_hz": -1},
+        {"link_latency_cycles": -1},
+        {"num_interfaces": 0},
+        {"num_interfaces": 9},
+        {"read_burst": 0},
+        {"endpoint_fifo_depth": 0},
+        {"inter_ck_fifo_depth": 0},
+        {"reduce_credits": 0},
+        {"max_ranks": 300},
+        {"max_ports": 1000},
+    ],
+)
+def test_invalid_config_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        HardwareConfig(**kwargs)
+
+
+def test_memory_config_defaults():
+    assert NOCTUA_MEMORY.num_banks == 4
+    assert NOCTUA_MEMORY.bank_width_elements == 16
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_banks": 0},
+        {"bank_width_elements": 0},
+        {"gesummv_stream_bandwidth_Bps": 0},
+    ],
+)
+def test_invalid_memory_config_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        MemoryConfig(**kwargs)
+
+
+def test_kernel_clock_known_widths():
+    assert NOCTUA_KERNEL_CLOCKS.fmax(16) == pytest.approx(132.0e6)
+    assert NOCTUA_KERNEL_CLOCKS.fmax(64) == pytest.approx(116.5e6)
+
+
+def test_kernel_clock_interpolation_and_clamping():
+    model = NOCTUA_KERNEL_CLOCKS
+    # Between the calibration points: strictly between the endpoint values.
+    mid = model.fmax(40)
+    assert 116.5e6 < mid < 132.0e6
+    # Outside: clamped.
+    assert model.fmax(1) == pytest.approx(132.0e6)
+    assert model.fmax(512) == pytest.approx(116.5e6)
+
+
+def test_kernel_clock_empty_model_uses_default():
+    model = KernelClockModel(fmax_by_width_hz={}, default_fmax_hz=100e6)
+    assert model.fmax(16) == pytest.approx(100e6)

@@ -1,0 +1,107 @@
+"""Unit tests for SMI datatypes (element sizes, packetisation arithmetic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.datatypes import (
+    DATATYPES,
+    HEADER_BYTES,
+    PACKET_BYTES,
+    PAYLOAD_BYTES,
+    SMI_CHAR,
+    SMI_DOUBLE,
+    SMI_FLOAT,
+    SMI_INT,
+    SMI_LONG,
+    SMI_SHORT,
+    SMIDatatype,
+    datatype_by_name,
+)
+from repro.core.errors import ConfigurationError
+
+
+def test_packet_geometry_matches_paper():
+    # §4.2: "network packets in our implementation are composed of 4 Bytes of
+    # header data, and a payload of 28 Bytes".
+    assert PACKET_BYTES == 32
+    assert PAYLOAD_BYTES == 28
+    assert HEADER_BYTES == 4
+
+
+@pytest.mark.parametrize(
+    "dtype,size,epp",
+    [
+        (SMI_CHAR, 1, 28),
+        (SMI_SHORT, 2, 14),
+        (SMI_INT, 4, 7),
+        (SMI_FLOAT, 4, 7),
+        (SMI_DOUBLE, 8, 3),
+        (SMI_LONG, 8, 3),
+    ],
+)
+def test_elements_per_packet(dtype, size, epp):
+    assert dtype.size == size
+    assert dtype.elements_per_packet == epp
+
+
+def test_numpy_dtype_itemsize_consistency():
+    for dt in DATATYPES.values():
+        assert np.dtype(dt.np_dtype).itemsize == dt.size
+
+
+@pytest.mark.parametrize("dtype", list(DATATYPES.values()), ids=lambda d: d.name)
+def test_packets_for_zero_and_one(dtype):
+    assert dtype.packets_for(0) == 0
+    assert dtype.packets_for(1) == 1
+
+
+@given(count=st.integers(min_value=0, max_value=10**7))
+def test_packets_for_is_ceiling_division(count):
+    for dt in (SMI_CHAR, SMI_INT, SMI_DOUBLE):
+        packets = dt.packets_for(count)
+        epp = dt.elements_per_packet
+        assert packets * epp >= count
+        assert (packets - 1) * epp < count or packets == 0
+
+
+@given(count=st.integers(min_value=1, max_value=10**6))
+def test_wire_bytes_exceed_payload_bytes(count):
+    # The 4 B header makes wire bytes strictly larger than payload bytes.
+    dt = SMI_FLOAT
+    assert dt.wire_bytes_for(count) > dt.payload_bytes_for(count)
+    # Header overhead is bounded by 4/32 of the wire traffic.
+    assert dt.payload_bytes_for(count) >= dt.wire_bytes_for(count) * (28 / 32) - 28
+
+
+def test_packets_for_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        SMI_INT.packets_for(-1)
+
+
+def test_datatype_by_name_roundtrip():
+    for name, dt in DATATYPES.items():
+        assert datatype_by_name(name) is dt
+
+
+def test_datatype_by_name_unknown():
+    with pytest.raises(ConfigurationError, match="unknown SMI datatype"):
+        datatype_by_name("SMI_QUATERNION")
+
+
+def test_custom_datatype_validation():
+    with pytest.raises(ConfigurationError):
+        SMIDatatype("BAD", 0, np.dtype(np.int8))
+    with pytest.raises(ConfigurationError):
+        SMIDatatype("BAD", 64, np.dtype(np.int8))
+    with pytest.raises(ConfigurationError):
+        # Mismatched numpy itemsize.
+        SMIDatatype("BAD", 2, np.dtype(np.int8))
+
+
+def test_custom_wide_datatype_allowed():
+    # A 28-byte type fills the payload exactly with one element per packet.
+    wide = SMIDatatype("WIDE", 28, np.dtype([("v", np.uint8, 28)]))
+    assert wide.elements_per_packet == 1
+    assert wide.packets_for(5) == 5

@@ -1,0 +1,334 @@
+"""Unit tests for the cycle-level simulation engine."""
+
+import pytest
+
+from repro.core.errors import DeadlockError, SimulationError
+from repro.simulation import TICK, Engine, SimEvent, WaitCycles
+
+
+def test_empty_engine_completes_immediately():
+    eng = Engine()
+    result = eng.run()
+    assert result.completed
+    assert result.cycles == 0
+
+
+def test_tick_advances_one_cycle_each():
+    eng = Engine()
+    seen = []
+
+    def proc():
+        for _ in range(5):
+            seen.append(eng.cycle)
+            yield TICK
+
+    eng.spawn(proc, "ticker")
+    result = eng.run()
+    assert result.completed
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_wait_cycles_skips_time():
+    eng = Engine()
+    marks = []
+
+    def proc():
+        yield WaitCycles(1000)
+        marks.append(eng.cycle)
+        yield WaitCycles(234)
+        marks.append(eng.cycle)
+
+    eng.spawn(proc, "sleeper")
+    eng.run()
+    assert marks == [1000, 1234]
+
+
+def test_wait_cycles_rejects_zero():
+    with pytest.raises(ValueError):
+        WaitCycles(0)
+
+
+def test_process_return_value_captured():
+    eng = Engine()
+
+    def proc():
+        yield TICK
+        return 42
+
+    p = eng.spawn(proc, "answer")
+    eng.run()
+    assert p.finished
+    assert p.result == 42
+
+
+def test_deterministic_ordering_same_cycle():
+    # Processes scheduled in the same cycle run in spawn order.
+    eng = Engine()
+    order = []
+
+    def make(tag):
+        def proc():
+            for _ in range(3):
+                order.append((eng.cycle, tag))
+                yield TICK
+
+        return proc
+
+    eng.spawn(make("a"), "a")
+    eng.spawn(make("b"), "b")
+    eng.run()
+    assert order == [
+        (0, "a"), (0, "b"), (1, "a"), (1, "b"), (2, "a"), (2, "b"),
+    ]
+
+
+def test_two_runs_are_identical():
+    def build():
+        eng = Engine()
+        trace = []
+
+        def producer(fifo):
+            yield from fifo.push_many(range(20))
+
+        def consumer(fifo):
+            for _ in range(20):
+                item = yield from fifo.pop()
+                trace.append((eng.cycle, item))
+
+        f = eng.fifo("f", capacity=3)
+        eng.spawn(producer(f), "p")
+        eng.spawn(consumer(f), "c")
+        eng.run()
+        return trace
+
+    assert build() == build()
+
+
+def test_daemon_does_not_keep_engine_alive():
+    eng = Engine()
+    steps = []
+
+    def daemon():
+        while True:
+            steps.append(eng.cycle)
+            yield TICK
+
+    def worker():
+        yield WaitCycles(3)
+
+    eng.spawn(daemon, "d", daemon=True)
+    eng.spawn(worker, "w")
+    result = eng.run()
+    assert result.completed
+    assert result.cycles == 3
+
+
+def test_event_wakes_waiters():
+    eng = Engine()
+    ev = SimEvent("go")
+    woke_at = []
+
+    def waiter():
+        yield ev
+        woke_at.append(eng.cycle)
+
+    def setter():
+        yield WaitCycles(7)
+        eng.set_event(ev)
+
+    eng.spawn(waiter, "waiter")
+    eng.spawn(setter, "setter")
+    eng.run()
+    assert woke_at == [7]
+    assert ev.is_set and ev.set_at_cycle == 7
+
+
+def test_waiting_on_already_set_event_continues():
+    eng = Engine()
+    ev = SimEvent("pre")
+    done = []
+
+    def setter():
+        eng.set_event(ev)
+        yield TICK
+
+    def waiter():
+        yield WaitCycles(5)
+        yield ev  # already set: no extra blocking beyond this step
+        done.append(eng.cycle)
+
+    eng.spawn(setter, "s")
+    eng.spawn(waiter, "w")
+    eng.run()
+    assert done == [5]
+
+
+def test_wait_any_of_two_fifos():
+    eng = Engine()
+    f1 = eng.fifo("f1", capacity=4)
+    f2 = eng.fifo("f2", capacity=4)
+    got = []
+
+    def selector():
+        # Wait until either input has data, then report which.
+        yield (f1.can_pop, f2.can_pop)
+        if f2.readable:
+            got.append(("f2", f2.take(), eng.cycle))
+        if f1.readable:
+            got.append(("f1", f1.take(), eng.cycle))
+
+    def producer():
+        yield WaitCycles(10)
+        yield from f2.push("x")
+
+    eng.spawn(selector, "sel")
+    eng.spawn(producer, "prod")
+    eng.run()
+    # Item staged at cycle 10 becomes visible at 11.
+    assert got == [("f2", "x", 11)]
+
+
+def test_deadlock_detected_and_reported():
+    eng = Engine()
+    f = eng.fifo("stuck", capacity=1)
+
+    def starved():
+        item = yield from f.pop()  # nobody ever pushes
+        return item
+
+    eng.spawn(starved, "starved-consumer")
+    with pytest.raises(DeadlockError, match="starved-consumer"):
+        eng.run()
+
+
+def test_cyclic_dependency_deadlock():
+    # Two ranks both send before receiving with too-small buffers (§3.3).
+    eng = Engine()
+    a_to_b = eng.fifo("a2b", capacity=2)
+    b_to_a = eng.fifo("b2a", capacity=2)
+
+    def node(out_f, in_f, n):
+        def proc():
+            for i in range(n):
+                yield from out_f.push(i)
+            for _ in range(n):
+                yield from in_f.pop()
+
+        return proc
+
+    eng.spawn(node(a_to_b, b_to_a, 10), "a")
+    eng.spawn(node(b_to_a, a_to_b, 10), "b")
+    with pytest.raises(DeadlockError):
+        eng.run()
+
+
+def test_max_cycles_stops_run():
+    eng = Engine()
+
+    def forever():
+        while True:
+            yield TICK
+
+    eng.spawn(forever, "loop")
+    result = eng.run(max_cycles=100)
+    assert result.reason == "max_cycles"
+    assert result.cycles == 100
+    assert not result.completed
+
+
+def test_combinational_loop_guard():
+    eng = Engine()
+    f = eng.fifo("f", capacity=4)
+
+    def spinner():
+        f.stage("x")
+        while True:
+            # Yielding an already-satisfied condition without consuming it
+            # re-runs the process in the same cycle: must be caught.
+            yield f.can_push
+
+    eng.spawn(spinner, "spin")
+    with pytest.raises(SimulationError, match="combinational loop"):
+        eng.run()
+
+
+def test_spawn_rejects_non_generator():
+    eng = Engine()
+    with pytest.raises(SimulationError, match="generator"):
+        eng.spawn(lambda: 42, "notgen")
+
+
+def test_exception_in_process_annotated():
+    eng = Engine()
+
+    def broken():
+        yield TICK
+        raise ValueError("boom")
+
+    eng.spawn(broken, "broken-kernel")
+    with pytest.raises(ValueError, match="boom") as exc_info:
+        eng.run()
+    assert any("broken-kernel" in note for note in exc_info.value.__notes__)
+
+
+def test_done_event_of_process():
+    eng = Engine()
+
+    def worker():
+        yield WaitCycles(9)
+        return "done"
+
+    waited = []
+    p = eng.spawn(worker, "w")
+
+    def observer():
+        yield p.done
+        waited.append(eng.cycle)
+
+    eng.spawn(observer, "obs")
+    eng.run()
+    assert waited == [9]
+
+
+def test_start_cycle_delays_first_step():
+    eng = Engine()
+    first = []
+
+    def proc():
+        first.append(eng.cycle)
+        yield TICK
+
+    eng.spawn(proc, "late", start_cycle=50)
+    eng.run()
+    assert first == [50]
+
+
+def test_event_skipping_is_fast_for_long_idle():
+    # A 10-million-cycle sleep must not iterate 10 million times.
+    eng = Engine()
+
+    def sleeper():
+        yield WaitCycles(10_000_000)
+
+    eng.spawn(sleeper, "s")
+    result = eng.run()
+    assert result.cycles == 10_000_000
+
+
+def test_fifo_stats_snapshot():
+    eng = Engine()
+    f = eng.fifo("stats", capacity=4)
+
+    def p():
+        yield from f.push_many([1, 2, 3])
+
+    def c():
+        yield from f.pop_many(3)
+
+    eng.spawn(p, "p")
+    eng.spawn(c, "c")
+    eng.run()
+    stats = eng.fifo_stats()["stats"]
+    assert stats["pushes"] == 3
+    assert stats["pops"] == 3
+    assert stats["capacity"] == 4

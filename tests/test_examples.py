@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example must run clean end to end.
+
+Each example asserts its own correctness internally (data verified against
+expectations/NumPy), so a zero exit status means the demonstrated feature
+actually worked.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_EXAMPLES = os.path.join(_ROOT, "examples")
+
+ALL_EXAMPLES = sorted(
+    f for f in os.listdir(_EXAMPLES) if f.endswith(".py")
+)
+
+
+def test_every_example_is_covered():
+    assert set(ALL_EXAMPLES) == {
+        "quickstart.py",
+        "collectives_tour.py",
+        "gesummv_pipeline.py",
+        "stencil_halo.py",
+        "routing_workflow.py",
+        "flow_control.py",
+    }
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES, script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        env=env,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script} printed nothing"

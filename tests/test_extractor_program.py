@@ -1,0 +1,208 @@
+"""Tests for AST metadata extraction and the SMIProgram workflow (§4.5)."""
+
+import pytest
+
+from repro import (
+    SMI_ADD,
+    SMI_FLOAT,
+    SMI_INT,
+    CodegenError,
+    ConfigurationError,
+    SMIProgram,
+    bus,
+)
+from repro.codegen.extractor import extract_ops
+from repro.codegen.metadata import OpDecl
+
+PORT_WEST = 1  # module-level constant, resolvable by the extractor
+
+
+def test_extracts_send_and_recv():
+    def kernel(smi):
+        chs = smi.open_send_channel(10, SMI_INT, 1, 0)
+        chr_ = smi.open_recv_channel(10, SMI_FLOAT, 0, 2)
+        yield None
+
+    ops = extract_ops(kernel)
+    kinds = {(o.kind, o.port, o.dtype.name) for o in ops}
+    assert kinds == {("send", 0, "SMI_INT"), ("recv", 2, "SMI_FLOAT")}
+
+
+def test_extracts_collectives_with_reduce_op():
+    def kernel(smi):
+        b = smi.open_bcast_channel(4, SMI_FLOAT, 0, 0)
+        r = smi.open_reduce_channel(4, SMI_FLOAT, SMI_ADD, 1, 0)
+        s = smi.open_scatter_channel(4, SMI_INT, 2, 0)
+        g = smi.open_gather_channel(4, SMI_INT, 3, 0)
+        yield None
+
+    ops = {o.kind: o for o in extract_ops(kernel)}
+    assert set(ops) == {"bcast", "reduce", "scatter", "gather"}
+    assert ops["reduce"].reduce_op is SMI_ADD
+    assert ops["bcast"].port == 0 and ops["gather"].port == 3
+
+
+def test_extracts_module_level_constant_port():
+    def kernel(smi):
+        ch = smi.open_recv_channel(8, SMI_INT, 0, PORT_WEST)
+        yield None
+
+    ops = extract_ops(kernel)
+    assert ops[0].port == PORT_WEST
+
+
+def test_extracts_closure_constant_port():
+    port = 7
+
+    def kernel(smi):
+        ch = smi.open_send_channel(8, SMI_INT, 1, port)
+        yield None
+
+    ops = extract_ops(kernel)
+    assert ops[0].port == 7
+
+
+def test_extracts_keyword_arguments():
+    def kernel(smi):
+        ch = smi.open_send_channel(8, dtype=SMI_INT, destination=1, port=4)
+        yield None
+
+    ops = extract_ops(kernel)
+    assert ops[0].port == 4 and ops[0].dtype is SMI_INT
+
+
+def test_dedupes_repeated_opens():
+    def kernel(smi):
+        for t in range(4):  # reopened per timestep, like the stencil
+            ch = smi.open_recv_channel(8, SMI_INT, 0, 1)
+            yield None
+
+    ops = extract_ops(kernel)
+    assert len(ops) == 1
+
+
+def test_dynamic_port_rejected_with_hint():
+    def kernel(smi):
+        for p in range(4):
+            ch = smi.open_send_channel(8, SMI_INT, 1, p)  # non-constant port
+            yield None
+
+    with pytest.raises(CodegenError, match="compile-time constants"):
+        extract_ops(kernel)
+
+
+def test_negative_literal_resolves():
+    def kernel(smi):
+        ch = smi.open_send_channel(8, SMI_INT, 1, -1)  # silly but resolvable
+        yield None
+
+    with pytest.raises(CodegenError):  # OpDecl rejects port -1
+        extract_ops(kernel)
+
+
+def test_program_extraction_end_to_end():
+    """The full Fig. 8 flow with no explicit ops: AST extraction drives
+    transport generation."""
+    prog = SMIProgram(bus(2))
+    n = 14
+
+    @prog.kernel(rank=0)
+    def sender(smi):
+        ch = smi.open_send_channel(n, SMI_INT, 1, 0)
+        for i in range(n):
+            yield from smi.push(ch, i)
+
+    @prog.kernel(rank=1)
+    def receiver(smi):
+        ch = smi.open_recv_channel(n, SMI_INT, 0, 0)
+        out = []
+        for _ in range(n):
+            v = yield from smi.pop(ch)
+            out.append(int(v))
+        smi.store("out", out)
+
+    plan = prog.build_plan()
+    assert plan.total_ops() == 2
+    res = prog.run(max_cycles=100_000)
+    assert res.completed
+    assert res.store(1, "out") == list(range(n))
+
+
+def test_spmd_kernel_instantiated_on_all_ranks():
+    prog = SMIProgram(bus(3))
+
+    @prog.kernel(ranks="all")
+    def kernel(smi):
+        smi.store("rank_seen", smi.rank)
+        yield None
+
+    res = prog.run(max_cycles=1000)
+    assert res.completed
+    for r in range(3):
+        assert res.store(r, "rank_seen") == r
+
+
+def test_kernel_rank_out_of_range():
+    prog = SMIProgram(bus(2))
+    with pytest.raises(ConfigurationError, match="out of range"):
+        prog.add_kernel(lambda smi: iter(()), rank=5)
+
+
+def test_both_rank_and_ranks_rejected():
+    prog = SMIProgram(bus(2))
+    with pytest.raises(ConfigurationError):
+        prog.add_kernel(lambda smi: iter(()), rank=0, ranks=[1])
+
+
+def test_program_without_kernels_rejected():
+    prog = SMIProgram(bus(2))
+    with pytest.raises(ConfigurationError, match="no kernels"):
+        prog.run()
+
+
+def test_program_returns_kernel_results():
+    prog = SMIProgram(bus(2))
+
+    @prog.kernel(rank=0, ops=[])
+    def worker(smi):
+        yield None
+        return 42
+
+    res = prog.run(max_cycles=1000)
+    assert res.returns[("worker", 0)] == 42
+
+
+def test_manual_declares_merge_with_extraction():
+    prog = SMIProgram(bus(2))
+
+    @prog.kernel(rank=0, ops=[OpDecl("send", 0, SMI_INT)])
+    def sender(smi):
+        ch = smi.open_send_channel(7, SMI_INT, 1, 0)
+        for i in range(7):
+            yield from smi.push(ch, i)
+
+    prog.declare(1, OpDecl("recv", 0, SMI_INT))
+
+    @prog.kernel(rank=1, ops=[])
+    def receiver(smi):
+        ch = smi.open_recv_channel(7, SMI_INT, 0, 0)
+        out = []
+        for _ in range(7):
+            v = yield from smi.pop(ch)
+            out.append(int(v))
+        smi.store("out", out)
+
+    res = prog.run(max_cycles=100_000)
+    assert res.completed
+    assert res.store(1, "out") == list(range(7))
+
+
+def test_elapsed_us_consistent_with_cycles():
+    prog = SMIProgram(bus(2))
+
+    @prog.kernel(rank=0, ops=[])
+    def idler(smi):
+        yield smi.wait(31250)  # 100 us at the 312.5 MHz kernel clock
+
+    res = prog.run(max_cycles=100_000)
+    assert res.elapsed_us == pytest.approx(100.0)

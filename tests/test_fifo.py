@@ -1,0 +1,226 @@
+"""Unit tests for registered FIFO semantics (the hardware handoff model)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError
+from repro.simulation import TICK, Engine, WaitCycles
+
+
+def test_item_visible_one_cycle_after_stage():
+    eng = Engine()
+    f = eng.fifo("f", capacity=4)
+    observations = []
+
+    def producer():
+        f.stage("a")  # staged at cycle 0
+        yield TICK
+
+    def observer():
+        observations.append((eng.cycle, f.readable))  # cycle 0: not yet
+        yield TICK
+        observations.append((eng.cycle, f.readable))  # cycle 1: visible
+        yield TICK
+
+    eng.spawn(producer, "p")
+    eng.spawn(observer, "o")
+    eng.run()
+    assert observations == [(0, False), (1, True)]
+
+
+def test_latency_parameter_delays_visibility():
+    eng = Engine()
+    f = eng.fifo("link", capacity=16, latency=10)
+    arrival = []
+
+    def producer():
+        f.stage("pkt")
+        yield TICK
+
+    def consumer():
+        item = yield from f.pop()
+        arrival.append((eng.cycle, item))
+
+    eng.spawn(producer, "p")
+    eng.spawn(consumer, "c")
+    eng.run()
+    # Staged at cycle 0, visible at 10, pop consumes a cycle -> done at 11.
+    assert arrival == [(11, "pkt")]
+
+
+def test_throughput_one_item_per_cycle():
+    # A FIFO with sufficient capacity sustains 1 item/cycle.
+    eng = Engine()
+    f = eng.fifo("f", capacity=8)
+    n = 100
+    done = {}
+
+    def producer():
+        yield from f.push_many(range(n))
+        done["push_end"] = eng.cycle
+
+    def consumer():
+        yield from f.pop_many(n)
+        done["pop_end"] = eng.cycle
+
+    eng.spawn(producer, "p")
+    eng.spawn(consumer, "c")
+    eng.run()
+    # Producer: one push per cycle -> finishes at cycle n.
+    assert done["push_end"] == n
+    # Consumer trails by the 1-cycle handoff.
+    assert done["pop_end"] <= n + 2
+
+
+def test_backpressure_blocks_producer():
+    eng = Engine()
+    f = eng.fifo("tiny", capacity=2)
+    push_times = []
+
+    def producer():
+        for i in range(6):
+            while not f.writable:
+                yield f.can_push
+            f.stage(i)
+            push_times.append(eng.cycle)
+            yield TICK
+
+    def slow_consumer():
+        for _ in range(6):
+            yield WaitCycles(10)
+            while not f.readable:
+                yield f.can_pop
+            f.take()
+
+    eng.spawn(producer, "p")
+    eng.spawn(slow_consumer, "c")
+    eng.run()
+    # First two pushes are back-to-back; the rest are paced by the consumer.
+    assert push_times[0] == 0 and push_times[1] == 1
+    gaps = [b - a for a, b in zip(push_times[2:], push_times[3:])]
+    assert all(g >= 9 for g in gaps)
+
+
+def test_capacity_counts_staged_items():
+    eng = Engine()
+    f = eng.fifo("f", capacity=2)
+
+    def proc():
+        assert f.writable
+        f.stage(1)
+        assert f.writable  # 1 staged, 1 free
+        f.stage(2)
+        assert not f.writable  # full: 2 staged
+        yield TICK
+
+    eng.spawn(proc, "p")
+    eng.run()
+
+
+def test_stage_while_full_raises():
+    eng = Engine()
+    f = eng.fifo("f", capacity=1)
+
+    def proc():
+        f.stage(1)
+        with pytest.raises(SimulationError, match="while full"):
+            f.stage(2)
+        yield TICK
+
+    eng.spawn(proc, "p")
+    eng.run()
+
+
+def test_take_while_empty_raises():
+    eng = Engine()
+    f = eng.fifo("f", capacity=1)
+
+    def proc():
+        with pytest.raises(SimulationError, match="while empty"):
+            f.take()
+        yield TICK
+
+    eng.spawn(proc, "p")
+    eng.run()
+
+
+def test_peek_does_not_remove():
+    eng = Engine()
+    f = eng.fifo("f", capacity=2)
+    out = []
+
+    def producer():
+        yield from f.push("v")
+
+    def consumer():
+        while not f.readable:
+            yield f.can_pop
+        assert f.peek() == "v"
+        assert f.peek() == "v"
+        out.append(f.take())
+        yield TICK
+
+    eng.spawn(producer, "p")
+    eng.spawn(consumer, "c")
+    eng.run()
+    assert out == ["v"]
+
+
+def test_invalid_construction():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.fifo("bad", capacity=0)
+    with pytest.raises(SimulationError):
+        eng.fifo("bad", capacity=1, latency=0)
+
+
+def test_drain_returns_everything_in_order():
+    eng = Engine()
+    f = eng.fifo("f", capacity=8)
+
+    def proc():
+        for i in range(3):
+            f.stage(i)
+        yield TICK
+        yield TICK
+        f.stage(99)  # still staged when we drain
+        yield TICK
+
+    eng.spawn(proc, "p")
+    eng.run()
+    assert f.drain() == [0, 1, 2, 99]
+    assert not f.readable
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=60),
+    capacity=st.integers(min_value=1, max_value=8),
+    latency=st.integers(min_value=1, max_value=12),
+    consumer_stall=st.integers(min_value=0, max_value=3),
+)
+def test_fifo_preserves_order_and_loses_nothing(items, capacity, latency, consumer_stall):
+    """Property: any FIFO delivers exactly the pushed sequence, in order,
+    for every combination of capacity, latency and consumer pacing."""
+    eng = Engine()
+    f = eng.fifo("f", capacity=capacity, latency=latency)
+    received = []
+
+    def producer():
+        yield from f.push_many(items)
+
+    def consumer():
+        for _ in range(len(items)):
+            if consumer_stall:
+                yield WaitCycles(consumer_stall)
+            item = yield from f.pop()
+            received.append(item)
+
+    eng.spawn(producer, "p")
+    eng.spawn(consumer, "c")
+    eng.run()
+    assert received == items
+    assert f.pushes == len(items)
+    assert f.pops == len(items)
+    assert f.max_occupancy <= capacity

@@ -1,0 +1,152 @@
+"""Tests for the benchmark harness: reporting, paper data, runners, CLI."""
+
+import math
+
+import pytest
+
+from repro.harness import (
+    Comparison,
+    SweepPoint,
+    bandwidth_sweep,
+    collective_sweep,
+    format_table,
+    host_bandwidth_sweep,
+    host_collective_sweep,
+    paperdata,
+)
+from repro.harness.cli import EXPERIMENTS, main as cli_main
+from repro.network.topology import noctua_torus
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, 2.5], [333, "x"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "bb" in lines[2]
+    # All data rows have the same width.
+    widths = {len(line) for line in lines[2:]}
+    assert len(widths) == 1
+
+
+def test_format_table_number_formatting():
+    text = format_table(["v"], [[1234567.0], [0.123456], [12.3456], [0]])
+    assert "1,234,567" in text
+    assert "0.123" in text
+    assert "12.3" in text
+
+
+def test_comparison_ratios():
+    cmp = Comparison("t", "us")
+    cmp.add("a", 10.0, 20.0)
+    cmp.add("b", 5.0, 5.0)
+    cmp.add("c", "n/a", 1.0)
+    rows = cmp.ratio_rows()
+    assert rows[0][3] == "2.00x"
+    assert rows[1][3] == "1.00x"
+    assert rows[2][3] == "-"
+    assert cmp.max_abs_log_ratio() == pytest.approx(1.0)  # log2(2)
+
+
+def test_comparison_render_contains_units():
+    cmp = Comparison("Latency", "us")
+    cmp.add("x", 1.0, 1.1)
+    text = cmp.render()
+    assert "paper [us]" in text and "measured [us]" in text
+
+
+# ----------------------------------------------------------------------
+# Paper data integrity
+# ----------------------------------------------------------------------
+def test_paperdata_table3_values():
+    assert paperdata.TABLE3_LATENCY_US["SMI-1"] == 0.801
+    assert paperdata.TABLE3_LATENCY_US["MPI+OpenCL"] == 36.61
+
+
+def test_paperdata_fig15_consistency():
+    # Speedups and times must be mutually consistent (t0 / t = speedup).
+    base = paperdata.FIG15_STRONG_SCALING["1 bank/1 FPGA"]["time_ms"]
+    for label, row in paperdata.FIG15_STRONG_SCALING.items():
+        implied = base / row["time_ms"]
+        assert implied == pytest.approx(row["speedup"], rel=0.15), label
+
+
+def test_paperdata_fig9_peaks():
+    assert paperdata.FIG9_PAYLOAD_PEAK_GBITS == pytest.approx(
+        paperdata.FIG9_QSFP_PEAK_GBITS * 28 / 32
+    )
+    assert paperdata.FIG9_SMI_PLATEAU_GBITS == pytest.approx(31.85)
+
+
+def test_paperdata_fig16_8ranks_faster():
+    for size in paperdata.FIG16_GRID_SIZES:
+        assert (paperdata.FIG16_NS_PER_POINT_8RANKS[size]
+                < paperdata.FIG16_NS_PER_POINT_4RANKS[size])
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+def test_bandwidth_sweep_marks_sources():
+    points = bandwidth_sweep([1024, 1 << 22], hops=1,
+                             sim_limit_elements=1024)
+    assert points[0].source == "sim"
+    assert points[1].source == "model"
+    assert points[1].value > points[0].value
+
+
+def test_host_bandwidth_sweep_monotone():
+    points = host_bandwidth_sweep([2**k for k in range(10, 24, 4)])
+    values = [p.value for p in points]
+    assert values == sorted(values)
+    assert all(p.source == "host-model" for p in points)
+
+
+def test_collective_sweep_sim_and_model_continuity():
+    """Sim and model points on either side of the threshold must line up
+    (no discontinuity in the published curves)."""
+    top = noctua_torus()
+    sizes = [2048, 4096]
+    sim_pts = collective_sweep("bcast", sizes, top, 8,
+                               sim_limit_elements=1 << 20)
+    model_pts = collective_sweep("bcast", sizes, top, 8,
+                                 sim_limit_elements=0)
+    for s, m in zip(sim_pts, model_pts):
+        assert m.value == pytest.approx(s.value, rel=0.3), (s, m)
+
+
+def test_collective_sweep_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown collective"):
+        collective_sweep("alltoall", [4], noctua_torus(), 8)
+
+
+def test_host_collective_sweep_kinds():
+    b = host_collective_sweep("bcast", [1024], 8)[0].value
+    r = host_collective_sweep("reduce", [1024], 8)[0].value
+    assert r >= b  # reduce adds combine time
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_lists_every_experiment():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "table3", "table4",
+        "fig9", "fig10", "fig11", "fig13", "fig15", "fig16",
+    }
+
+
+def test_cli_runs_fast_experiments(capsys):
+    assert cli_main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert cli_main(["fig16"]) == 0
+    out = capsys.readouterr().out
+    assert "weak scaling" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        cli_main(["fig99"])

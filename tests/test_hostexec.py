@@ -1,0 +1,80 @@
+"""Tests for the host-mediated (MPI+OpenCL) baseline model."""
+
+import pytest
+
+from repro.core.datatypes import SMI_FLOAT
+from repro.hostexec import NOCTUA_HOST, HostPathModel, Segment
+
+
+def test_latency_matches_table3():
+    # Table 3: MPI+OpenCL one-way latency = 36.61 us.
+    assert NOCTUA_HOST.p2p_latency_us() == pytest.approx(36.61, abs=0.01)
+
+
+def test_effective_bandwidth_one_third_of_smi():
+    # §5.3.1: "the host-based implementation achieves approximately one
+    # third of the SMI bandwidth" (SMI ~32 Gbit/s => host ~11-13).
+    peak = NOCTUA_HOST.peak_bandwidth_gbps()
+    assert 10.0 < peak < 14.0
+
+
+def test_bandwidth_monotone_in_size():
+    sizes = [2**k for k in range(10, 28, 2)]
+    bws = [NOCTUA_HOST.p2p_bandwidth_gbps(s) for s in sizes]
+    assert bws == sorted(bws)
+    # Converges towards (but never exceeds) the effective peak.
+    assert bws[-1] < NOCTUA_HOST.peak_bandwidth_gbps()
+    assert bws[-1] > 0.9 * NOCTUA_HOST.peak_bandwidth_gbps()
+
+
+def test_zero_byte_bandwidth_is_zero():
+    assert NOCTUA_HOST.p2p_bandwidth_gbps(0) == 0.0
+
+
+def test_time_increases_with_size():
+    assert NOCTUA_HOST.p2p_time_s(1 << 20) > NOCTUA_HOST.p2p_time_s(1 << 10)
+
+
+def test_collectives_flat_then_rising():
+    # Figs. 10-11: the MPI+OpenCL curves are flat (fixed-cost dominated)
+    # for small messages and grow for large ones.
+    t_small = NOCTUA_HOST.bcast_time_s(1, SMI_FLOAT, 8)
+    t_small2 = NOCTUA_HOST.bcast_time_s(256, SMI_FLOAT, 8)
+    t_big = NOCTUA_HOST.bcast_time_s(1 << 20, SMI_FLOAT, 8)
+    assert t_small2 < 1.1 * t_small
+    assert t_big > 4 * t_small
+
+
+def test_collective_rounds_grow_with_ranks():
+    t4 = NOCTUA_HOST.bcast_time_s(1 << 16, SMI_FLOAT, 4)
+    t8 = NOCTUA_HOST.bcast_time_s(1 << 16, SMI_FLOAT, 8)
+    assert t8 > t4
+
+
+def test_reduce_slower_than_bcast():
+    # The combine step adds host FLOPs.
+    n = 1 << 18
+    assert NOCTUA_HOST.reduce_time_s(n, SMI_FLOAT, 8) > NOCTUA_HOST.bcast_time_s(
+        n, SMI_FLOAT, 8
+    )
+
+
+def test_scatter_gather_linear_in_ranks():
+    n = 1 << 12
+    t4 = NOCTUA_HOST.scatter_time_s(n, SMI_FLOAT, 4)
+    t8 = NOCTUA_HOST.scatter_time_s(n, SMI_FLOAT, 8)
+    assert t8 > t4
+    assert NOCTUA_HOST.gather_time_s(n, SMI_FLOAT, 8) == pytest.approx(t8)
+
+
+def test_custom_model_segments():
+    model = HostPathModel(segments=(Segment("only", 10.0, 1e9),))
+    assert model.p2p_latency_us() == pytest.approx(10.0)
+    assert model.peak_bandwidth_gbps() == pytest.approx(1.0)
+    # 1 Gbit/s: 125 MB takes ~1 s + latency.
+    assert model.p2p_time_s(125_000_000) == pytest.approx(1.0, rel=0.01)
+
+
+def test_single_rank_collective_has_no_rounds():
+    t = NOCTUA_HOST.bcast_time_s(1024, SMI_FLOAT, 1)
+    assert t == pytest.approx(NOCTUA_HOST.collective_fixed_us * 1e-6)

@@ -1,0 +1,87 @@
+"""Unit tests for op metadata declarations and plan validation."""
+
+import pytest
+
+from repro import SMI_ADD, SMI_FLOAT, SMI_INT
+from repro.codegen.metadata import OpDecl, ProgramPlan, RankPlan
+from repro.core.errors import CodegenError
+
+
+def test_opdecl_endpoint_requirements():
+    send = OpDecl("send", 0, SMI_INT)
+    assert send.needs_send_endpoint and not send.needs_recv_endpoint
+    recv = OpDecl("recv", 0, SMI_INT)
+    assert recv.needs_recv_endpoint and not recv.needs_send_endpoint
+    bc = OpDecl("bcast", 1, SMI_FLOAT)
+    assert bc.needs_send_endpoint and bc.needs_recv_endpoint
+    assert bc.is_collective and not send.is_collective
+
+
+def test_opdecl_validation():
+    with pytest.raises(CodegenError, match="unknown op kind"):
+        OpDecl("teleport", 0, SMI_INT)
+    with pytest.raises(CodegenError, match="1-byte"):
+        OpDecl("send", 300, SMI_INT)
+    with pytest.raises(CodegenError, match="reduce_op"):
+        OpDecl("reduce", 0, SMI_INT)
+    with pytest.raises(CodegenError, match="must not declare"):
+        OpDecl("send", 0, SMI_INT, reduce_op=SMI_ADD)
+    with pytest.raises(CodegenError, match="buffer_depth"):
+        OpDecl("send", 0, SMI_INT, buffer_depth=0)
+
+
+def test_rankplan_allows_send_and_recv_on_same_port():
+    plan = RankPlan(0, [OpDecl("send", 1, SMI_INT), OpDecl("recv", 1, SMI_INT)])
+    plan.validate()  # Listing-3 style halo exchange: legal
+
+
+def test_rankplan_rejects_duplicate_send():
+    plan = RankPlan(0, [OpDecl("send", 1, SMI_INT), OpDecl("send", 1, SMI_INT)])
+    with pytest.raises(CodegenError, match="duplicate"):
+        plan.validate()
+
+
+def test_rankplan_rejects_collective_port_sharing():
+    plan = RankPlan(0, [OpDecl("bcast", 2, SMI_INT), OpDecl("send", 2, SMI_INT)])
+    with pytest.raises(CodegenError, match="collective"):
+        plan.validate()
+    plan = RankPlan(0, [OpDecl("send", 2, SMI_INT), OpDecl("bcast", 2, SMI_INT)])
+    with pytest.raises(CodegenError, match="exclusive"):
+        plan.validate()
+
+
+def test_rankplan_rejects_two_collectives_one_port():
+    plan = RankPlan(0, [
+        OpDecl("bcast", 0, SMI_INT),
+        OpDecl("reduce", 0, SMI_FLOAT, reduce_op=SMI_ADD),
+    ])
+    with pytest.raises(CodegenError):
+        plan.validate()
+
+
+def test_rankplan_rejects_conflicting_dtypes_on_port():
+    plan = RankPlan(0, [OpDecl("send", 3, SMI_INT), OpDecl("recv", 3, SMI_FLOAT)])
+    with pytest.raises(CodegenError, match="conflicting"):
+        plan.validate()
+
+
+def test_rankplan_port_queries():
+    plan = RankPlan(0, [
+        OpDecl("send", 5, SMI_INT),
+        OpDecl("recv", 2, SMI_INT),
+        OpDecl("gather", 9, SMI_FLOAT),
+    ])
+    assert plan.ports == [2, 5, 9]
+    assert set(plan.send_ports()) == {5, 9}
+    assert set(plan.recv_ports()) == {2, 9}
+    assert [op.kind for op in plan.collective_ops()] == ["gather"]
+
+
+def test_programplan_add_and_validate():
+    plan = ProgramPlan(4)
+    plan.add(0, OpDecl("send", 0, SMI_INT))
+    plan.add(1, OpDecl("recv", 0, SMI_INT))
+    plan.validate()
+    assert plan.total_ops() == 2
+    with pytest.raises(CodegenError, match="out of range"):
+        plan.add(9, OpDecl("send", 0, SMI_INT))

@@ -1,0 +1,85 @@
+"""Unit tests for reduction operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.ops import OPS, SMI_ADD, SMI_MAX, SMI_MIN, op_by_name
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+
+
+def test_known_ops_registered():
+    assert set(OPS) == {"SMI_ADD", "SMI_MAX", "SMI_MIN"}
+
+
+def test_op_by_name():
+    assert op_by_name("SMI_ADD") is SMI_ADD
+    with pytest.raises(ConfigurationError):
+        op_by_name("SMI_XOR")
+
+
+@given(a=finite_floats, b=finite_floats)
+def test_commutativity(a, b):
+    for op in OPS.values():
+        assert op.combine(a, b) == op.combine(b, a)
+
+
+@given(a=finite_floats, b=finite_floats, c=finite_floats)
+def test_associativity_max_min(a, b, c):
+    # MAX/MIN are exactly associative (ADD only up to float rounding).
+    for op in (SMI_MAX, SMI_MIN):
+        assert op.combine(op.combine(a, b), c) == op.combine(a, op.combine(b, c))
+
+
+@given(a=finite_floats)
+def test_identity_element(a):
+    for op in OPS.values():
+        assert op.combine(a, op.identity) == a
+
+
+def test_identity_array_float():
+    arr = SMI_ADD.identity_array(4, np.float32)
+    assert arr.dtype == np.float32
+    assert np.all(arr == 0.0)
+    arr = SMI_MAX.identity_array(3, np.float64)
+    assert np.all(np.isneginf(arr))
+
+
+def test_identity_array_integer_clamps_infinity():
+    # Integer buffers cannot hold inf; the op substitutes the dtype extreme.
+    arr = SMI_MAX.identity_array(2, np.int32)
+    assert arr.dtype == np.int32
+    assert np.all(arr == np.iinfo(np.int32).min)
+    arr = SMI_MIN.identity_array(2, np.int32)
+    assert np.all(arr == np.iinfo(np.int32).max)
+
+
+def test_reduce_many_matches_numpy():
+    rng = np.random.default_rng(7)
+    contribs = [rng.normal(size=16).astype(np.float64) for _ in range(5)]
+    np.testing.assert_allclose(
+        SMI_ADD.reduce_many(contribs), np.sum(contribs, axis=0), rtol=1e-12
+    )
+    np.testing.assert_array_equal(
+        SMI_MAX.reduce_many(contribs), np.max(contribs, axis=0)
+    )
+    np.testing.assert_array_equal(
+        SMI_MIN.reduce_many(contribs), np.min(contribs, axis=0)
+    )
+
+
+def test_reduce_many_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        SMI_ADD.reduce_many([])
+
+
+def test_reduce_many_single_contribution_is_copy():
+    a = np.ones(4)
+    out = SMI_ADD.reduce_many([a])
+    out[0] = 99
+    assert a[0] == 1.0

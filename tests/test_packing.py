@@ -1,0 +1,154 @@
+"""Unit tests for element<->packet packing (the Push/Pop internals)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datatypes import SMI_DOUBLE, SMI_FLOAT, SMI_INT
+from repro.core.errors import ChannelError
+from repro.network.packet import OpType, Packet
+from repro.simulation import Engine
+from repro.transport.packing import PacketPacker, PacketUnpacker
+
+
+def test_packer_emits_on_full_packet():
+    p = PacketPacker(0, 1, 2, SMI_INT)
+    for i in range(6):
+        assert p.add(i) is None
+    pkt = p.add(6)
+    assert pkt is not None
+    assert pkt.count == 7
+    np.testing.assert_array_equal(pkt.elements(), np.arange(7, dtype=np.int32))
+    assert p.pending == 0
+
+
+def test_packer_flush_partial():
+    p = PacketPacker(3, 4, 5, SMI_DOUBLE)  # 3 elements per packet
+    p.add(1.5)
+    pkt = p.flush()
+    assert pkt.count == 1
+    assert pkt.src == 3 and pkt.dst == 4 and pkt.port == 5
+    assert p.flush() is None  # nothing left
+
+
+def test_packer_header_fields():
+    p = PacketPacker(7, 9, 11, SMI_FLOAT)
+    for i in range(7):
+        pkt = p.add(float(i)) or pkt if i else p.add  # noqa: F841 - see below
+    # simpler: rebuild
+    p = PacketPacker(7, 9, 11, SMI_FLOAT)
+    out = None
+    for i in range(7):
+        out = p.add(float(i)) or out
+    assert out.src == 7 and out.dst == 9 and out.port == 11
+    assert out.op == OpType.DATA
+
+
+def test_packer_retarget_on_boundary():
+    p = PacketPacker(0, 1, 0, SMI_INT)
+    p.retarget(5)
+    out = None
+    for i in range(7):
+        out = p.add(i) or out
+    assert out.dst == 5
+    p.retarget(6)  # boundary again after emission
+    p.add(0)
+    with pytest.raises(ChannelError, match="partial packet"):
+        p.retarget(7)
+
+
+@settings(deadline=None, max_examples=30)
+@given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=100))
+def test_pack_unpack_roundtrip_through_fifo(values):
+    """Property: packer -> FIFO -> unpacker reproduces the element stream."""
+    eng = Engine()
+    fifo = eng.fifo("pkts", capacity=64)
+    received = []
+
+    def producer():
+        packer = PacketPacker(0, 1, 0, SMI_INT)
+        for v in values:
+            pkt = packer.add(v)
+            if pkt is not None:
+                yield from fifo.push(pkt)
+        tail = packer.flush()
+        if tail is not None:
+            yield from fifo.push(tail)
+
+    def consumer():
+        unpacker = PacketUnpacker(fifo, SMI_INT)
+        for _ in range(len(values)):
+            v = yield from unpacker.next_element()
+            received.append(int(v))
+
+    eng.spawn(producer, "p")
+    eng.spawn(consumer, "c")
+    eng.run()
+    assert received == values
+
+
+def test_unpacker_tracks_source_rank():
+    eng = Engine()
+    fifo = eng.fifo("pkts", capacity=8)
+    sources = []
+
+    def producer():
+        for src in (3, 5):
+            pkt = Packet(src=src, dst=1, port=0, op=OpType.DATA, count=1,
+                         payload=np.array([src], np.int32), dtype=SMI_INT)
+            yield from fifo.push(pkt)
+
+    def consumer():
+        unpacker = PacketUnpacker(fifo, SMI_INT)
+        for _ in range(2):
+            yield from unpacker.next_element()
+            sources.append(unpacker.last_src)
+
+    eng.spawn(producer, "p")
+    eng.spawn(consumer, "c")
+    eng.run()
+    assert sources == [3, 5]
+
+
+def test_unpacker_rejects_control_packet():
+    eng = Engine()
+    fifo = eng.fifo("pkts", capacity=8)
+
+    def producer():
+        yield from fifo.push(Packet(src=0, dst=1, port=0, op=OpType.CREDIT))
+
+    def consumer():
+        unpacker = PacketUnpacker(fifo, SMI_INT)
+        yield from unpacker.next_element()
+
+    eng.spawn(producer, "p")
+    eng.spawn(consumer, "c")
+    with pytest.raises(ChannelError, match="expected DATA"):
+        eng.run()
+
+
+def test_unpacker_one_element_per_cycle():
+    eng = Engine()
+    fifo = eng.fifo("pkts", capacity=8)
+    times = []
+
+    def producer():
+        packer = PacketPacker(0, 1, 0, SMI_INT)
+        for i in range(14):  # exactly two full packets
+            pkt = packer.add(i)
+            if pkt is not None:
+                yield from fifo.push(pkt)
+
+    def consumer():
+        unpacker = PacketUnpacker(fifo, SMI_INT)
+        for _ in range(14):
+            yield from unpacker.next_element()
+            times.append(eng.cycle)
+
+    eng.spawn(producer, "p")
+    eng.spawn(consumer, "c")
+    eng.run()
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    # Elements within a packet arrive back-to-back (gap 1).
+    assert gaps.count(1) >= 10

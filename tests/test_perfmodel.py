@@ -1,0 +1,211 @@
+"""Validation of the analytical performance model against the simulator.
+
+This is the load-bearing test for the benchmark methodology: figures use
+the cycle simulator for small/medium sizes and the closed-form model for
+paper-scale points, so the two must agree on the overlap.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NOCTUA, SMI_FLOAT, SMI_INT, SMIProgram, bus, noctua_torus
+from repro.codegen.metadata import OpDecl
+from repro.perfmodel import (
+    bcast_cycles,
+    injection_gap_cycles,
+    p2p_bandwidth_gbps,
+    p2p_latency_us,
+    p2p_stream,
+    packet_gap_cycles,
+    reduce_cycles,
+)
+
+
+# ---------------------------------------------------------------------
+# Simulator measurement helpers
+# ---------------------------------------------------------------------
+def simulate_stream_cycles(n, hops, dtype=SMI_FLOAT, width=8):
+    prog = SMIProgram(bus(8))
+    marks = {}
+
+    def snd(smi):
+        ch = smi.open_send_channel(n, dtype, hops, 0)
+        data = np.zeros(n, dtype=dtype.np_dtype)
+        yield from ch.push_vec(data, width=width)
+
+    def rcv(smi):
+        ch = smi.open_recv_channel(n, dtype, 0, 0)
+        yield from ch.pop_vec(n, width=width)
+        marks["end"] = smi.cycle
+
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, dtype)])
+    prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, dtype)])
+    res = prog.run(max_cycles=50_000_000)
+    assert res.completed, res.reason
+    return marks["end"]
+
+
+def simulate_bcast_cycles(n, num_ranks, topology):
+    prog = SMIProgram(topology)
+    marks = {}
+
+    def kernel(smi):
+        chan = smi.open_bcast_channel(n, SMI_FLOAT, 0, 0)
+        for i in range(n):
+            yield from chan.bcast(float(i) if smi.rank == 0 else None)
+        marks[smi.rank] = smi.cycle
+
+    prog.add_kernel(kernel, ranks="all", ops=[OpDecl("bcast", 0, SMI_FLOAT)])
+    res = prog.run(max_cycles=50_000_000)
+    assert res.completed, res.reason
+    return max(marks.values())
+
+
+# ---------------------------------------------------------------------
+# Point-to-point agreement
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("n,hops", [(64, 1), (1024, 1), (4096, 1),
+                                    (1024, 4), (1024, 7), (8192, 3)])
+def test_stream_model_matches_simulator(n, hops):
+    sim = simulate_stream_cycles(n, hops)
+    model = p2p_stream(n, SMI_FLOAT, hops, NOCTUA, app_width=8).cycles
+    assert model == pytest.approx(sim, rel=0.10), (sim, model)
+
+
+def test_latency_model_matches_table3_scale():
+    # The model should land near the calibrated simulator (Table 3 values).
+    assert p2p_latency_us(1, NOCTUA) == pytest.approx(0.801, rel=0.1)
+    assert p2p_latency_us(4, NOCTUA) == pytest.approx(2.896, rel=0.1)
+    assert p2p_latency_us(7, NOCTUA) == pytest.approx(5.103, rel=0.1)
+
+
+def test_bandwidth_model_saturates_at_payload_peak():
+    bw_small = p2p_bandwidth_gbps(256, SMI_FLOAT, 1, NOCTUA)
+    bw_large = p2p_bandwidth_gbps(1 << 22, SMI_FLOAT, 1, NOCTUA)
+    assert bw_small < bw_large
+    assert bw_large <= 35.0
+    assert bw_large > 0.9 * 35.0
+
+
+def test_bandwidth_model_hop_invariant_at_large_sizes():
+    # Fig. 9: "larger network distance does not affect the achieved
+    # bandwidth" for streamed messages.
+    big = 1 << 22
+    bw1 = p2p_bandwidth_gbps(big, SMI_FLOAT, 1, NOCTUA)
+    bw7 = p2p_bandwidth_gbps(big, SMI_FLOAT, 7, NOCTUA)
+    assert bw7 == pytest.approx(bw1, rel=0.01)
+
+
+def test_app_width_one_limits_bandwidth():
+    # An unvectorised app pushes 1 element/cycle: 4 B * 312.5 MHz = 10 Gb/s.
+    bw = p2p_bandwidth_gbps(1 << 20, SMI_FLOAT, 1, NOCTUA, app_width=1)
+    assert bw == pytest.approx(10.0, rel=0.05)
+
+
+def test_packet_gap_bottlenecks():
+    # Vectorised app: the link slot (2 cycles/packet) is the bottleneck.
+    assert packet_gap_cycles(NOCTUA, SMI_FLOAT, app_width=8) == 2.0
+    # Narrow app: element packing dominates (7 cycles per 7-element packet).
+    assert packet_gap_cycles(NOCTUA, SMI_FLOAT, app_width=1) == 7.0
+    # R=1 polling starves the CKS: (1+4)/1 = 5 cycles per packet.
+    assert packet_gap_cycles(NOCTUA.with_(read_burst=1), SMI_FLOAT, 8) == 5.0
+
+
+def test_injection_gap_formula():
+    assert injection_gap_cycles(NOCTUA.with_(read_burst=1)) == 5.0
+    assert injection_gap_cycles(NOCTUA.with_(read_burst=4)) == 2.0
+    assert injection_gap_cycles(NOCTUA.with_(read_burst=8)) == 1.5
+    assert injection_gap_cycles(NOCTUA.with_(read_burst=16)) == 1.25
+
+
+# ---------------------------------------------------------------------
+# Collective agreement
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("n,ranks", [(128, 4), (512, 4), (512, 8)])
+def test_bcast_model_matches_simulator(n, ranks):
+    from repro.network.topology import torus2d
+
+    topology = torus2d(2, 2) if ranks == 4 else noctua_torus()
+    sim = simulate_bcast_cycles(n, ranks, topology)
+    hops = np.mean([topology.hop_matrix()[0][d] for d in range(1, ranks)])
+    model = bcast_cycles(n, SMI_FLOAT, ranks, hops, NOCTUA)
+    assert model == pytest.approx(sim, rel=0.25), (sim, model)
+
+
+def test_reduce_model_shape():
+    # Root-bound linear reduction: roughly linear in count and in ranks.
+    t1 = reduce_cycles(10_000, SMI_FLOAT, 4, 2, NOCTUA)
+    t2 = reduce_cycles(20_000, SMI_FLOAT, 4, 2, NOCTUA)
+    assert t2 == pytest.approx(2 * t1, rel=0.15)
+    # Rank scaling of the root's combine work: isolate it from credit
+    # stalls by making the tile as large as the message.
+    big_credit = NOCTUA.with_(reduce_credits=10_000)
+    t4 = reduce_cycles(10_000, SMI_FLOAT, 4, 2, big_credit)
+    t8 = reduce_cycles(10_000, SMI_FLOAT, 8, 2, big_credit)
+    assert t8 > 1.8 * t4
+
+
+def test_reduce_model_latency_sensitivity():
+    # §5.3.4: completion time increases with network diameter (credit RTT).
+    small_net = reduce_cycles(100_000, SMI_FLOAT, 8, 2, NOCTUA)
+    big_net = reduce_cycles(100_000, SMI_FLOAT, 8, 7, NOCTUA)
+    assert big_net > small_net
+
+
+def test_reduce_model_credit_tile_effect():
+    # More credits => fewer stalls => faster.
+    few = reduce_cycles(100_000, SMI_FLOAT, 8, 3, NOCTUA.with_(reduce_credits=64))
+    many = reduce_cycles(100_000, SMI_FLOAT, 8, 3, NOCTUA.with_(reduce_credits=1024))
+    assert many < few
+
+
+# ---------------------------------------------------------------------
+# Scatter / Gather models
+# ---------------------------------------------------------------------
+def simulate_scatter_cycles(n, topology):
+    from repro.codegen.metadata import OpDecl
+
+    prog = SMIProgram(topology)
+    marks = {}
+
+    def kernel(smi):
+        chan = smi.open_scatter_channel(n, SMI_INT, 0, 0)
+        if smi.rank == 0:
+            yield from chan.stream_root(list(range(topology.num_ranks * n)))
+        else:
+            for _ in range(n):
+                yield from chan.pop()
+        marks[smi.rank] = smi.cycle
+
+    prog.add_kernel(kernel, ranks="all", ops=[OpDecl("scatter", 0, SMI_INT)])
+    res = prog.run(max_cycles=50_000_000)
+    assert res.completed, res.reason
+    return max(marks.values())
+
+
+def test_scatter_model_matches_simulator():
+    from repro.network.topology import torus2d
+    from repro.perfmodel import scatter_cycles
+
+    topology = torus2d(2, 2)
+    n = 256
+    sim = simulate_scatter_cycles(n, topology)
+    hops = np.mean([topology.hop_matrix()[0][d] for d in range(1, 4)])
+    model = scatter_cycles(n, SMI_INT, 4, hops, NOCTUA)
+    assert model == pytest.approx(sim, rel=0.35), (sim, model)
+
+
+def test_gather_model_linear_in_ranks():
+    from repro.perfmodel import gather_cycles
+
+    t4 = gather_cycles(1000, SMI_INT, 4, 2, NOCTUA)
+    t8 = gather_cycles(1000, SMI_INT, 8, 2, NOCTUA)
+    # Root receives (P-1) sequential segments: roughly linear growth.
+    assert 1.5 < (t8 - 1000) / max(1, (t4 - 1000)) < 3.0
+
+
+def test_scatter_gather_models_zero_count():
+    from repro.perfmodel import gather_cycles, scatter_cycles
+
+    assert scatter_cycles(0, SMI_INT, 4, 2, NOCTUA) == 0.0
+    assert gather_cycles(0, SMI_INT, 4, 2, NOCTUA) == 0.0

@@ -1,0 +1,132 @@
+"""Tests for the FPGA resource model: Tables 1 and 2 must reproduce exactly."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.resources import (
+    BCAST_KERNEL,
+    REDUCE_KERNEL_FP32_SUM,
+    STRATIX10_GX2800,
+    ResourceVector,
+    estimate,
+    table1,
+    table2,
+)
+
+
+def test_table1_1qsfp_exact():
+    est = estimate(qsfps=1)
+    assert est.interconnect.luts == 144
+    assert est.interconnect.ffs == 4872
+    assert est.interconnect.m20ks == 0
+    assert est.comm_kernels.luts == 6186
+    assert est.comm_kernels.ffs == 7189
+    assert est.comm_kernels.m20ks == 10
+
+
+def test_table1_4qsfp_exact():
+    est = estimate(qsfps=4)
+    assert est.interconnect.luts == 1152
+    assert est.interconnect.ffs == 39264
+    assert est.interconnect.m20ks == 0
+    assert est.comm_kernels.luts == 30960
+    assert est.comm_kernels.ffs == 31072
+    assert est.comm_kernels.m20ks == 40
+
+
+def test_table1_percent_of_max():
+    # Paper: 4 QSFPs row is 1.7% LUTs, 1.9% FFs, 0.3% M20Ks.
+    t = table1()
+    assert t["4 QSFPs"]["pct_luts"] == pytest.approx(1.7, abs=0.05)
+    assert t["4 QSFPs"]["pct_ffs"] == pytest.approx(1.9, abs=0.05)
+    assert t["4 QSFPs"]["pct_m20ks"] == pytest.approx(0.3, abs=0.05)
+    # 1 QSFP row: 0.3% LUTs, 0.7% FFs (paper, rounded to one decimal).
+    assert t["1 QSFP"]["pct_luts"] == pytest.approx(0.3, abs=0.05)
+    assert t["1 QSFP"]["pct_ffs"] == pytest.approx(0.7, abs=0.4)
+
+
+def test_resource_growth_faster_than_linear():
+    # §5.2: "The number of used resources grows slightly faster than linear."
+    one = estimate(1).transport_total
+    four = estimate(4).transport_total
+    assert four.luts > 4 * one.luts
+    assert four.ffs > 4 * one.ffs
+    # ...but not wildly: within ~2x of linear.
+    assert four.luts < 8 * one.luts
+
+
+def test_intermediate_qsfp_counts_monotone():
+    totals = [estimate(q).transport_total.luts for q in (1, 2, 3, 4)]
+    assert totals == sorted(totals)
+    assert len(set(totals)) == 4
+
+
+def test_table2_exact():
+    t = table2()
+    assert t["Broadcast"]["luts"] == 2560
+    assert t["Broadcast"]["ffs"] == 3593
+    assert t["Broadcast"]["dsps"] == 0
+    assert t["Reduce (FP32 SUM)"]["luts"] == 10268
+    assert t["Reduce (FP32 SUM)"]["ffs"] == 14648
+    assert t["Reduce (FP32 SUM)"]["dsps"] == 6
+    # Percent columns: paper reports 0.1% LUTs for Bcast, 0.6% for Reduce.
+    assert t["Broadcast"]["pct_luts"] == pytest.approx(0.1, abs=0.05)
+    assert t["Reduce (FP32 SUM)"]["pct_luts"] == pytest.approx(0.6, abs=0.05)
+    assert t["Reduce (FP32 SUM)"]["pct_dsps"] == pytest.approx(0.1, abs=0.05)
+
+
+def test_total_overhead_insignificant():
+    # §5.2: "the resource overhead of SMI is insignificant, amounting to
+    # less than 2% of the total chip resources" (the transport of Table 1).
+    est = estimate(4)
+    transport = est.transport_total
+    assert est.chip.fraction("luts", transport.luts) < 0.02
+    assert est.chip.fraction("ffs", transport.ffs) < 0.02
+    # Even with collective support kernels it stays marginal (< 3%).
+    full = estimate(4, collectives={"bcast": 1, "reduce": 1})
+    fr = full.fractions()
+    assert fr["luts"] < 0.03
+    assert fr["ffs"] < 0.03
+
+
+def test_extra_endpoints_cost_more():
+    base = estimate(4, endpoints_per_pair=1).transport_total
+    more = estimate(4, endpoints_per_pair=2).transport_total
+    assert more.luts > base.luts
+    assert more.ffs > base.ffs
+
+
+def test_chip_capacities():
+    chip = STRATIX10_GX2800
+    assert chip.luts == 2 * chip.alms
+    assert chip.ffs == 4 * chip.alms
+    assert chip.m20ks == 11_721
+    assert chip.dsps == 5_760
+    with pytest.raises(ConfigurationError):
+        chip.fraction("qubits", 1)
+
+
+def test_resource_vector_arithmetic():
+    a = ResourceVector(1, 2, 3, 4)
+    b = ResourceVector(10, 20, 30, 40)
+    s = a + b
+    assert (s.luts, s.ffs, s.m20ks, s.dsps) == (11, 22, 33, 44)
+    d = a.scaled(2)
+    assert (d.luts, d.ffs, d.m20ks, d.dsps) == (2, 4, 6, 8)
+
+
+def test_invalid_estimates_rejected():
+    with pytest.raises(ConfigurationError):
+        estimate(0)
+    with pytest.raises(ConfigurationError):
+        estimate(5)
+    with pytest.raises(ConfigurationError):
+        estimate(2, endpoints_per_pair=0)
+    with pytest.raises(ConfigurationError):
+        estimate(2, collectives={"alltoall": 1})
+
+
+def test_collective_kernels_add_dsps():
+    est = estimate(1, collectives={"reduce": 2})
+    assert est.collectives.dsps == 12
+    assert est.total.dsps == 12

@@ -1,0 +1,57 @@
+"""Tests for the simulation measurement utilities."""
+
+import pytest
+
+from repro.core.config import NOCTUA
+from repro.simulation.stats import (
+    CycleHistogram,
+    Stopwatch,
+    link_utilization,
+    payload_bandwidth_gbit_s,
+)
+
+
+def test_stopwatch_basic():
+    sw = Stopwatch()
+    sw.start(100)
+    sw.stop(350)
+    assert sw.cycles == 250
+    assert sw.us(NOCTUA) == pytest.approx(NOCTUA.cycles_to_us(250))
+    assert sw.seconds(NOCTUA) == pytest.approx(250 / NOCTUA.clock_hz)
+
+
+def test_stopwatch_unset_raises():
+    with pytest.raises(ValueError):
+        Stopwatch().cycles  # noqa: B018
+
+
+def test_payload_bandwidth_peak_consistency():
+    # Moving 28 payload bytes every 2 cycles == the 35 Gbit/s payload peak.
+    cycles = 2_000
+    payload = 28 * (cycles // 2)
+    bw = payload_bandwidth_gbit_s(payload, cycles, NOCTUA)
+    assert bw == pytest.approx(35.0)
+
+
+def test_payload_bandwidth_rejects_zero_cycles():
+    with pytest.raises(ValueError):
+        payload_bandwidth_gbit_s(100, 0, NOCTUA)
+
+
+def test_link_utilization():
+    assert link_utilization(50, 100) == pytest.approx(0.5)
+    assert link_utilization(0, 0) == 0.0
+
+
+def test_cycle_histogram():
+    hist = CycleHistogram()
+    for cycle in (10, 12, 15, 21):
+        hist.record(cycle)
+    assert hist.count == 3
+    assert hist.gaps == [2, 3, 6]
+    assert hist.mean_gap == pytest.approx(11 / 3)
+
+
+def test_cycle_histogram_empty_mean_raises():
+    with pytest.raises(ValueError):
+        CycleHistogram().mean_gap  # noqa: B018

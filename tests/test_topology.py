@@ -1,0 +1,167 @@
+"""Unit tests for topology descriptions and builders."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.network.topology import (
+    Connection,
+    Topology,
+    bus,
+    noctua_bus,
+    noctua_torus,
+    ring,
+    torus2d,
+)
+
+
+def test_bus_structure():
+    top = bus(4)
+    assert top.num_ranks == 4
+    assert len(top.connections) == 3
+    assert top.neighbors_of(0) == {1}
+    assert top.neighbors_of(1) == {0, 2}
+    assert top.is_connected()
+
+
+def test_bus_hop_matrix_is_linear_distance():
+    top = bus(8)
+    hops = top.hop_matrix()
+    for i in range(8):
+        for j in range(8):
+            assert hops[i][j] == abs(i - j)
+    assert top.diameter() == 7
+
+
+def test_ring_wraps():
+    top = ring(6)
+    assert len(top.connections) == 6
+    assert top.neighbors_of(0) == {1, 5}
+    assert top.diameter() == 3
+
+
+def test_ring_requires_three_ranks():
+    with pytest.raises(TopologyError):
+        ring(2)
+
+
+def test_noctua_torus_shape():
+    top = noctua_torus()
+    # 8 FPGAs, every one of the 4 QSFP ports wired (§5.1).
+    assert top.num_ranks == 8
+    assert len(top.connections) == 16  # 32 ports / 2
+    for rank in range(8):
+        assert top.interfaces_of(rank) == [0, 1, 2, 3]
+    assert top.is_connected()
+    # 2x4 torus diameter: <= 1 (rows) + 2 (cols) hops.
+    assert top.diameter() <= 3
+
+
+def test_torus_4x4_neighbor_count():
+    top = torus2d(4, 4)
+    for rank in range(16):
+        assert len(top.neighbors_of(rank)) == 4
+
+
+def test_torus_two_rows_has_parallel_links():
+    # With 2 rows, north and south wrap to the same neighbour: the two
+    # cables exist in parallel on distinct interfaces.
+    top = torus2d(2, 2)
+    for rank in range(4):
+        assert top.interfaces_of(rank) == [0, 1, 2, 3]
+        # Only 2 distinct neighbours (vertical + horizontal partner).
+        assert len(top.neighbors_of(rank)) == 2
+
+
+def test_torus_1xN_is_a_ring():
+    top = torus2d(1, 5)
+    assert top.num_ranks == 5
+    for rank in range(5):
+        assert len(top.neighbors_of(rank)) == 2
+
+
+def test_peer_lookup_symmetry():
+    top = noctua_torus()
+    for rank in range(top.num_ranks):
+        for iface in top.interfaces_of(rank):
+            peer = top.peer(rank, iface)
+            assert peer is not None
+            back = top.peer(*peer)
+            assert back == (rank, iface)
+
+
+def test_unconnected_port_returns_none():
+    top = bus(3)
+    assert top.peer(0, 3) is None
+    assert top.peer(0, 0) is None  # bus uses iface 1 downstream of rank 0
+
+
+def test_duplicate_port_rejected():
+    with pytest.raises(TopologyError, match="wired more than once"):
+        Topology(3, [Connection((0, 0), (1, 0)), Connection((0, 0), (2, 0))])
+
+
+def test_self_connection_rejected():
+    with pytest.raises(TopologyError, match="same FPGA"):
+        Topology(2, [Connection((0, 0), (0, 1))])
+
+
+def test_out_of_range_rank_rejected():
+    with pytest.raises(TopologyError, match="out of range"):
+        Topology(2, [Connection((0, 0), (5, 0))])
+
+
+def test_out_of_range_interface_rejected():
+    with pytest.raises(TopologyError, match="interface"):
+        Topology(2, [Connection((0, 9), (1, 0))], num_interfaces=4)
+
+
+def test_too_many_ranks_rejected():
+    with pytest.raises(TopologyError, match="256"):
+        Topology(300, [])
+
+
+def test_json_roundtrip(tmp_path):
+    top = noctua_torus()
+    path = tmp_path / "torus.json"
+    top.to_json(path)
+    loaded = Topology.from_json(path)
+    assert loaded.num_ranks == top.num_ranks
+    assert {str(c) for c in loaded.connections} == {str(c) for c in top.connections}
+
+
+def test_from_json_string():
+    text = bus(3).to_json()
+    loaded = Topology.from_json(text)
+    assert loaded.num_ranks == 3
+
+
+def test_from_dict_malformed():
+    with pytest.raises(TopologyError, match="malformed"):
+        Topology.from_dict({"connections": []})
+
+
+def test_from_text_parses_paper_format():
+    text = """
+    # FPGA wiring list (Fig. 8 style)
+    0:0 - 1:0
+    1:1 - 2:0
+    """
+    top = Topology.from_text(text)
+    assert top.num_ranks == 3
+    assert top.neighbors_of(1) == {0, 2}
+
+
+def test_from_text_rejects_garbage():
+    with pytest.raises(TopologyError, match="line 1"):
+        Topology.from_text("zero to one")
+
+
+def test_disconnected_topology_detected():
+    top = Topology(4, [Connection((0, 0), (1, 0)), Connection((2, 0), (3, 0))])
+    assert not top.is_connected()
+
+
+def test_bus_and_torus_builders_used_in_paper():
+    assert noctua_bus().num_ranks == 8
+    assert noctua_bus().diameter() == 7
+    assert noctua_torus().diameter() <= 3

@@ -1,0 +1,207 @@
+"""Tests for the tree-based collective extension (§4.4's suggested schema)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NOCTUA, SMI_ADD, SMI_FLOAT, SMI_INT, SMI_MAX, SMIProgram
+from repro.codegen.metadata import OpDecl
+from repro.core.errors import CodegenError
+from repro.network.topology import noctua_torus, torus2d
+
+
+def run_tree_bcast(topology, n, root, dtype=SMI_FLOAT, config=NOCTUA):
+    prog = SMIProgram(topology, config=config)
+    marks: dict[int, int] = {}
+
+    def kernel(smi):
+        chan = smi.open_bcast_channel(n, dtype, 0, root)
+        out = []
+        for i in range(n):
+            v = yield from chan.bcast(
+                dtype.np_dtype.type(i * 3) if smi.rank == root else None
+            )
+            out.append(v)
+        smi.store("out", out)
+        marks[smi.rank] = smi.cycle
+
+    prog.add_kernel(kernel, ranks="all",
+                    ops=[OpDecl("bcast", 0, dtype, scheme="tree")])
+    res = prog.run(max_cycles=10_000_000)
+    assert res.completed, res.reason
+    return res, max(marks.values())
+
+
+def run_tree_reduce(topology, n, root, op=SMI_ADD, config=NOCTUA,
+                    contributions=None):
+    prog = SMIProgram(topology, config=config)
+    marks: dict[int, int] = {}
+
+    def kernel(smi):
+        chan = smi.open_reduce_channel(n, SMI_FLOAT, op, 0, root)
+        out = []
+        for i in range(n):
+            value = (contributions[smi.rank][i] if contributions is not None
+                     else np.float32(smi.rank * 10 + i))
+            v = yield from chan.reduce(value)
+            if smi.rank == root:
+                out.append(float(v))
+        if smi.rank == root:
+            smi.store("out", out)
+        marks[smi.rank] = smi.cycle
+
+    prog.add_kernel(
+        kernel, ranks="all",
+        ops=[OpDecl("reduce", 0, SMI_FLOAT, reduce_op=op, scheme="tree")],
+    )
+    res = prog.run(max_cycles=10_000_000)
+    assert res.completed, res.reason
+    return res, res.store(root, "out"), max(marks.values())
+
+
+def test_tree_bcast_delivers_everywhere():
+    res, _ = run_tree_bcast(noctua_torus(), 30, root=0)
+    expect = [float(i * 3) for i in range(30)]
+    for r in range(8):
+        np.testing.assert_allclose(res.store(r, "out"), expect)
+
+
+def test_tree_bcast_nonzero_root():
+    res, _ = run_tree_bcast(torus2d(2, 2), 12, root=2)
+    expect = [float(i * 3) for i in range(12)]
+    for r in range(4):
+        np.testing.assert_allclose(res.store(r, "out"), expect)
+
+
+def test_tree_bcast_int():
+    res, _ = run_tree_bcast(noctua_torus(), 9, root=5, dtype=SMI_INT)
+    for r in range(8):
+        assert [int(v) for v in res.store(r, "out")] == [i * 3 for i in range(9)]
+
+
+def test_tree_reduce_sum_matches_numpy():
+    _, out, _ = run_tree_reduce(noctua_torus(), 25, root=0)
+    expect = [sum(r * 10 + i for r in range(8)) for i in range(25)]
+    np.testing.assert_allclose(out, expect)
+
+
+def test_tree_reduce_max():
+    rng = np.random.default_rng(9)
+    contribs = {r: rng.normal(size=12).astype(np.float32) for r in range(8)}
+    _, out, _ = run_tree_reduce(noctua_torus(), 12, root=0, op=SMI_MAX,
+                                contributions=contribs)
+    stacked = np.stack([contribs[r] for r in range(8)])
+    np.testing.assert_allclose(out, stacked.max(axis=0), rtol=1e-6)
+
+
+def test_tree_reduce_crossing_credit_tiles():
+    cfg = NOCTUA.with_(reduce_credits=16)
+    _, out, _ = run_tree_reduce(noctua_torus(), 70, root=0, config=cfg)
+    expect = [sum(r * 10 + i for r in range(8)) for i in range(70)]
+    np.testing.assert_allclose(out, expect)
+
+
+def test_tree_reduce_nonzero_root():
+    _, out, _ = run_tree_reduce(torus2d(2, 2), 10, root=3)
+    expect = [sum(r * 10 + i for r in range(4)) for i in range(10)]
+    np.testing.assert_allclose(out, expect)
+
+
+@settings(deadline=None, max_examples=8)
+@given(n=st.integers(1, 40), root=st.integers(0, 7))
+def test_property_tree_bcast_any_root_any_size(n, root):
+    res, _ = run_tree_bcast(noctua_torus(), n, root=root)
+    expect = [float(i * 3) for i in range(n)]
+    for r in range(8):
+        np.testing.assert_allclose(res.store(r, "out"), expect)
+
+
+def _linear_reduce_cycles(topology, n):
+    prog = SMIProgram(topology)
+    marks: dict[int, int] = {}
+
+    def kernel(smi):
+        chan = smi.open_reduce_channel(n, SMI_FLOAT, SMI_ADD, 0, 0)
+        for i in range(n):
+            yield from chan.reduce(np.float32(i))
+        marks[smi.rank] = smi.cycle
+
+    prog.add_kernel(
+        kernel, ranks="all",
+        ops=[OpDecl("reduce", 0, SMI_FLOAT, reduce_op=SMI_ADD)],
+    )
+    res = prog.run(max_cycles=10_000_000)
+    assert res.completed
+    return max(marks.values())
+
+
+def test_tree_reduce_faster_than_linear_on_8_ranks():
+    n = 1024
+    linear = _linear_reduce_cycles(noctua_torus(), n)
+    _, _, tree = run_tree_reduce(noctua_torus(), n, root=0)
+    assert tree < linear, (tree, linear)
+
+
+def test_tree_bcast_lower_latency_for_small_messages():
+    """Tree depth ~log2(P) vs chain length P-1: small-message broadcast
+    completes earlier with the tree."""
+
+    def linear_bcast_cycles(n):
+        prog = SMIProgram(noctua_torus())
+        marks: dict[int, int] = {}
+
+        def kernel(smi):
+            chan = smi.open_bcast_channel(n, SMI_FLOAT, 0, 0)
+            for i in range(n):
+                yield from chan.bcast(float(i) if smi.rank == 0 else None)
+            marks[smi.rank] = smi.cycle
+
+        prog.add_kernel(kernel, ranks="all",
+                        ops=[OpDecl("bcast", 0, SMI_FLOAT)])
+        res = prog.run(max_cycles=10_000_000)
+        assert res.completed
+        return max(marks.values())
+
+    _, tree = run_tree_bcast(noctua_torus(), 4, root=0)
+    linear = linear_bcast_cycles(4)
+    assert tree < linear, (tree, linear)
+
+
+def test_tree_scheme_rejected_for_scatter_gather():
+    with pytest.raises(CodegenError, match="tree scheme"):
+        OpDecl("scatter", 0, SMI_INT, scheme="tree")
+    with pytest.raises(CodegenError, match="tree scheme"):
+        OpDecl("gather", 0, SMI_INT, scheme="tree")
+    with pytest.raises(CodegenError, match="unknown collective scheme"):
+        OpDecl("bcast", 0, SMI_INT, scheme="fractal")
+
+
+def test_tree_and_linear_coexist_on_distinct_ports():
+    prog = SMIProgram(torus2d(2, 2))
+    n = 16
+
+    def lin_app(smi):
+        chan = smi.open_bcast_channel(n, SMI_INT, 0, 0)
+        out = []
+        for i in range(n):
+            v = yield from chan.bcast(i if smi.rank == 0 else None)
+            out.append(int(v))
+        smi.store("lin", out)
+
+    def tree_app(smi):
+        chan = smi.open_bcast_channel(n, SMI_INT, 1, 0)
+        out = []
+        for i in range(n):
+            v = yield from chan.bcast(100 + i if smi.rank == 0 else None)
+            out.append(int(v))
+        smi.store("tree", out)
+
+    prog.add_kernel(lin_app, ranks="all", ops=[OpDecl("bcast", 0, SMI_INT)])
+    prog.add_kernel(tree_app, ranks="all",
+                    ops=[OpDecl("bcast", 1, SMI_INT, scheme="tree")])
+    res = prog.run(max_cycles=10_000_000)
+    assert res.completed
+    for r in range(4):
+        assert res.store(r, "lin") == list(range(n))
+        assert res.store(r, "tree") == [100 + i for i in range(n)]
