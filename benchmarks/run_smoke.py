@@ -1,0 +1,152 @@
+"""Perf smoke runner: track simulator wall-clock and cycles over time.
+
+Runs the bandwidth (Fig. 9) and broadcast (Fig. 10) kernels at small,
+CI-friendly sizes, in both data-plane modes (``burst_mode`` on / off),
+and writes ``BENCH_smoke.json`` next to this script:
+
+* per point: simulated ``cycles`` (must be identical across modes — the
+  burst fast path is required to be cycle-exact) and best-of-N
+  wall-clock seconds per mode;
+* per point: the burst/per-flit speedup, plus the headline speedup at
+  the largest simulated message size.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import NOCTUA
+from repro.core.datatypes import SMI_FLOAT
+from repro.harness.runners import measure_bcast_sim_us, measure_stream_sim
+from repro.network.topology import noctua_bus
+
+#: Element counts for the bandwidth stream (Fig. 9 x-axis, in elements).
+STREAM_SIZES = (1 << 10, 1 << 13, 1 << 15, 1 << 17)
+QUICK_STREAM_SIZES = (1 << 10, 1 << 13)
+#: Hop counts measured (Fig. 9 plots 1/4/7-hop series; 7 adds no new
+#: scaling information over 4 for the smoke run).
+STREAM_HOPS = (1, 4)
+
+#: Element counts for the broadcast sweep (Fig. 10 x-axis).
+BCAST_SIZES = (1 << 6, 1 << 9, 1 << 12)
+QUICK_BCAST_SIZES = (1 << 6, 1 << 9)
+BCAST_RANKS = 4
+
+
+def _best_of(fn, repeats: int):
+    value = None
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return value, best
+
+
+def run_stream_points(sizes, repeats):
+    points = []
+    for hops in STREAM_HOPS:
+        for n in sizes:
+            point = {"kind": "bandwidth", "elements": int(n),
+                     "bytes": int(n) * SMI_FLOAT.size, "hops": hops}
+            for mode in (False, True):
+                cfg = NOCTUA.with_(burst_mode=mode)
+                cycles, wall = _best_of(
+                    lambda: measure_stream_sim(n, hops, SMI_FLOAT, cfg),
+                    repeats,
+                )
+                key = "burst" if mode else "flit"
+                point[f"cycles_{key}"] = int(cycles)
+                point[f"wall_s_{key}"] = round(wall, 4)
+            point["cycle_exact"] = (
+                point["cycles_burst"] == point["cycles_flit"])
+            point["speedup"] = round(
+                point["wall_s_flit"] / max(point["wall_s_burst"], 1e-9), 2
+            )
+            points.append(point)
+    return points
+
+
+def run_bcast_points(sizes, repeats):
+    points = []
+    topology = noctua_bus()
+    for n in sizes:
+        point = {"kind": "bcast", "elements": int(n), "ranks": BCAST_RANKS}
+        for mode in (False, True):
+            cfg = NOCTUA.with_(burst_mode=mode)
+            us, wall = _best_of(
+                lambda: measure_bcast_sim_us(n, topology, BCAST_RANKS, cfg),
+                repeats,
+            )
+            key = "burst" if mode else "flit"
+            point[f"cycles_{key}"] = int(round(us / cfg.cycles_to_us(1)))
+            point[f"wall_s_{key}"] = round(wall, 4)
+        point["cycle_exact"] = point["cycles_burst"] == point["cycles_flit"]
+        point["speedup"] = round(
+            point["wall_s_flit"] / max(point["wall_s_burst"], 1e-9), 2
+        )
+        points.append(point)
+    return points
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes, one repeat (CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: BENCH_smoke.json "
+                             "next to this script)")
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.quick else 3
+    stream_sizes = QUICK_STREAM_SIZES if args.quick else STREAM_SIZES
+    bcast_sizes = QUICK_BCAST_SIZES if args.quick else BCAST_SIZES
+
+    points = run_stream_points(stream_sizes, repeats)
+    points += run_bcast_points(bcast_sizes, repeats)
+
+    largest_n = max(p["elements"] for p in points if p["kind"] == "bandwidth")
+    headline = {
+        "largest_stream_bytes": largest_n * SMI_FLOAT.size,
+        "all_cycle_exact": all(p["cycle_exact"] for p in points),
+    }
+    for p in points:
+        if p["kind"] == "bandwidth" and p["elements"] == largest_n:
+            headline[f"speedup_at_largest_{p['hops']}hop"] = p["speedup"]
+    report = {
+        "benchmark": "smoke",
+        "quick": bool(args.quick),
+        "points": points,
+        "headline": headline,
+    }
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent / "BENCH_smoke.json"
+    )
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for p in points:
+        tag = (f"hops={p['hops']}" if p["kind"] == "bandwidth"
+               else f"ranks={p['ranks']}")
+        print(f"{p['kind']:9s} {tag:7s} n={p['elements']:7d}  "
+              f"cycles={p['cycles_burst']:9d} exact={p['cycle_exact']}  "
+              f"flit={p['wall_s_flit']:.3f}s burst={p['wall_s_burst']:.3f}s "
+              f"speedup={p['speedup']:.2f}x")
+    print(f"headline: {report['headline']}")
+    print(f"wrote {out}")
+    if not report["headline"]["all_cycle_exact"]:
+        print("ERROR: burst mode diverged from the per-flit reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,14 @@ class OpDecl:
         Collective implementation scheme: "linear" (the paper's reference
         implementation, §4.4) or "tree" (the binary-tree extension the
         paper suggests; Bcast/Reduce only).
+    peer:
+        Optional static peer rank (destination for "send", source for
+        "recv"). When declared, the transport builder narrows its
+        flow-liveness analysis to the exact route this operation uses,
+        which lets the burst fast path prove more arbiter inputs idle;
+        ``None`` means "any rank" (always safe, possibly slower to
+        simulate). Purely a simulator optimisation hint — routing itself
+        stays fully dynamic.
     """
 
     kind: str
@@ -59,6 +67,7 @@ class OpDecl:
     reduce_op: SMIOp | None = None
     buffer_depth: int | None = None
     scheme: str = "linear"
+    peer: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ALL_KINDS:
@@ -84,6 +93,10 @@ class OpDecl:
             raise CodegenError(f"{self.kind} ops must not declare a reduce_op")
         if self.buffer_depth is not None and self.buffer_depth < 1:
             raise CodegenError("buffer_depth must be >= 1 packet")
+        if self.peer is not None and not 0 <= self.peer <= 255:
+            raise CodegenError(
+                f"peer rank {self.peer} does not fit the 1-byte header field"
+            )
 
     @property
     def needs_send_endpoint(self) -> bool:

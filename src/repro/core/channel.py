@@ -20,7 +20,7 @@ from typing import Generator
 import numpy as np
 
 from ..network.packet import OpType
-from ..simulation.conditions import TICK
+from ..simulation.conditions import TICK, WaitCycles
 from ..simulation.fifo import Fifo
 from ..transport.packing import PacketPacker
 from .comm import SMIComm
@@ -29,7 +29,13 @@ from .errors import ChannelError, MessageOverrunError, TypeMismatchError
 
 
 class SendChannel:
-    """Descriptor of an open send channel (``SMI_Open_send_channel``)."""
+    """Descriptor of an open send channel (``SMI_Open_send_channel``).
+
+    ``burst_mode`` selects the vectorised fast path for ``push_vec``: whole
+    runs of packets are packed and staged in one engine event with the
+    exact cycles the per-element handshake would have used (see
+    :mod:`repro.simulation.fifo`). Cycle counts are identical either way.
+    """
 
     def __init__(
         self,
@@ -40,6 +46,7 @@ class SendChannel:
         port: int,
         comm: SMIComm,
         endpoint: Fifo,
+        burst_mode: bool = True,
     ) -> None:
         if count < 0:
             raise ChannelError(f"message count must be >= 0: {count}")
@@ -48,6 +55,7 @@ class SendChannel:
         self.port = port
         self.comm = comm
         self.endpoint = endpoint
+        self._burst = burst_mode
         self._packer = PacketPacker(src_global, dst_global, port, dtype)
         self._sent = 0
 
@@ -90,6 +98,9 @@ class SendChannel:
         width = width if width is not None else len(values)
         if width < 1:
             raise ChannelError("vector width must be >= 1")
+        if self._burst:
+            yield from self._push_vec_burst(values, width)
+            return
         for start in range(0, len(values), width):
             chunk = values[start : start + width]
             for v in chunk:
@@ -100,6 +111,93 @@ class SendChannel:
                 if pkt is not None:
                     yield from self._stage_packet(pkt)
             yield TICK
+
+    def _push_vec_burst(self, values, width: int) -> Generator:
+        """Burst fast path for :meth:`push_vec`: per-flit-identical cycles.
+
+        Plans runs of width-chunks against the endpoint's slot schedule —
+        free slots now, plus slots whose future release cycle is already
+        known (reserved by the CKS's own burst takes) — packs them with one
+        vectorised packer call, stages them with the per-chunk cycles the
+        element loop would have used (stalls on a full endpoint included),
+        and sleeps the run's length in one event. Falls back to a literal
+        (blocking) chunk when the next packet's stall cycle is unknown —
+        exactly where the per-element path would block open-endedly.
+        """
+        ep = self.endpoint
+        engine = ep.engine
+        epp = self.dtype.elements_per_packet
+        n = len(values)
+        i = 0
+        while i < n:
+            free, rels = ep.slot_plan(engine.cycle)
+            releases = iter(rels)
+            start = engine.cycle
+            cur = start
+            stage_cycles: list[int] = []
+            planned = 0  # elements planned
+            pending = self._packer.pending
+            chunks = 0
+            flush_tail = False
+            while i + planned < n:
+                w_j = min(width, n - i - planned)
+                comps = (pending + w_j) // epp
+                rem = (pending + w_j) % epp
+                extra = 0
+                if rem and self._sent + planned + w_j == self.count:
+                    extra = 1  # the message ends mid-packet: final flush
+                # One slot per packet: a free slot stages at the chunk's own
+                # cycle; a reserved slot stalls the chunk (and every later
+                # one) until the cycle after it releases, exactly like the
+                # per-element path blocking inside _stage_packet.
+                chunk_stages = []
+                for _ in range(comps + extra):
+                    if free > 0:
+                        free -= 1
+                    else:
+                        rel = next(releases, None)
+                        if rel is None:
+                            chunk_stages = None
+                            break
+                        cur = max(cur, rel + 1)
+                    chunk_stages.append(cur)
+                if chunk_stages is None:
+                    break  # unknown stall: stop the plan before this chunk
+                stage_cycles.extend(chunk_stages)
+                planned += w_j
+                pending = 0 if extra else rem
+                if extra:
+                    flush_tail = True
+                chunks += 1
+                cur += 1  # the chunk's closing TICK
+            if chunks == 0:
+                # The very next chunk's packets exceed free space: run it
+                # element by element so the stall lands mid-chunk exactly
+                # as in the per-flit path.
+                w_j = min(width, n - i)
+                for v in values[i : i + w_j]:
+                    pkt = self._packer.add(v)
+                    self._sent += 1
+                    if pkt is None and self._sent == self.count:
+                        pkt = self._packer.flush()
+                    if pkt is not None:
+                        yield from self._stage_packet(pkt)
+                i += w_j
+                yield TICK
+                continue
+            packets = self._packer.pack_run(
+                values[i : i + planned], flush_tail=flush_tail
+            )
+            if len(packets) != len(stage_cycles):  # pragma: no cover
+                raise ChannelError(
+                    f"burst planner expected {len(stage_cycles)} packets, "
+                    f"packer produced {len(packets)}"
+                )
+            if packets:
+                ep.stage_burst(packets, stage_cycles)
+            self._sent += planned
+            i += planned
+            yield WaitCycles(cur - start)
 
 
 class RecvChannel:
@@ -114,6 +212,7 @@ class RecvChannel:
         port: int,
         comm: SMIComm,
         endpoint: Fifo,
+        burst_mode: bool = True,
     ) -> None:
         if count < 0:
             raise ChannelError(f"message count must be >= 0: {count}")
@@ -123,6 +222,7 @@ class RecvChannel:
         self.port = port
         self.comm = comm
         self.endpoint = endpoint
+        self._burst = burst_mode
         self._received = 0
         self._current = None
         self._offset = 0
@@ -135,10 +235,7 @@ class RecvChannel:
     def elements_received(self) -> int:
         return self._received
 
-    def _next_packet(self) -> Generator:
-        while not self.endpoint.readable:
-            yield self.endpoint.can_pop
-        pkt = self.endpoint.take()
+    def _check_packet(self, pkt) -> None:
         if pkt.op != OpType.DATA:
             raise ChannelError(
                 f"recv channel on port {self.port}: unexpected control "
@@ -156,6 +253,12 @@ class RecvChannel:
                 f"{self.source_global}, got rank {pkt.src} — two senders "
                 "on one port?"
             )
+
+    def _next_packet(self) -> Generator:
+        while not self.endpoint.readable:
+            yield self.endpoint.can_pop
+        pkt = self.endpoint.take()
+        self._check_packet(pkt)
         self._current = pkt
         self._offset = 0
 
@@ -187,6 +290,9 @@ class RecvChannel:
         if width < 1:
             raise ChannelError("vector width must be >= 1")
         out = np.empty(n, dtype=self.dtype.np_dtype)
+        if self._burst:
+            yield from self._pop_vec_burst(n, width, out)
+            return out
         got = 0
         in_cycle = 0
         while got < n:
@@ -207,3 +313,90 @@ class RecvChannel:
         if in_cycle:
             yield TICK
         return out
+
+    def _pop_vec_burst(self, n: int, width: int, out: np.ndarray) -> Generator:
+        """Burst fast path for :meth:`pop_vec`: per-flit-identical cycles.
+
+        Every packet physically present in the endpoint FIFO — including
+        ones still staged, whose future ready cycle is known — is consumed
+        in one engine event: takes land at ``max(schedule, ready)`` exactly
+        where the element loop would have taken them (stalls included), and
+        the process sleeps to the end of the computed schedule.
+        """
+        ep = self.endpoint
+        engine = ep.engine
+        got = 0
+        in_cycle = 0
+        while got < n:
+            if self._current is not None:
+                # Leftover partial packet from a previous pop: consume it
+                # with the literal per-cycle steps (at most a few).
+                pkt = self._current
+                take = min(n - got, pkt.count - self._offset, width - in_cycle)
+                out[got : got + take] = (
+                    pkt.payload[self._offset : self._offset + take]
+                )
+                self._offset += take
+                got += take
+                self._received += take
+                in_cycle += take
+                if self._offset >= pkt.count:
+                    self._current = None
+                if in_cycle >= width:
+                    yield TICK
+                    in_cycle = 0
+                continue
+            if ep.present_count == 0:
+                yield ep.can_pop
+                continue
+            # ---- plan over every packet currently in the FIFO ----------
+            cur = engine.cycle
+            takes: list[int] = []
+            plan: list[tuple] = []  # (packet, elements used)
+            consumed = 0
+            ic = in_cycle
+            for pkt, ready in ep.iter_present():
+                if got + consumed >= n:
+                    break
+                try:
+                    self._check_packet(pkt)
+                except ChannelError:
+                    # Stop the plan before the offending packet: the
+                    # per-flit fallback below reaches it at its own take
+                    # cycle and raises with identical FIFO state.
+                    break
+                cur = max(cur, ready)  # stall until the packet is visible
+                takes.append(cur)
+                use = min(pkt.count, n - got - consumed)
+                plan.append((pkt, use))
+                consumed += use
+                left = use
+                while left > 0:  # advance one cycle per filled width-batch
+                    step = min(left, width - ic)
+                    ic += step
+                    left -= step
+                    if ic >= width:
+                        cur += 1
+                        ic = 0
+            if not plan:
+                # The head packet fails validation: consume it exactly like
+                # the per-flit path (take at its visibility cycle, then
+                # raise from the check with the packet already taken).
+                yield from self._next_packet()
+                continue
+            ep.take_burst(takes, collect=False)
+            idx = got
+            for pkt, use in plan:
+                out[idx : idx + use] = pkt.payload[:use]
+                idx += use
+            got += consumed
+            self._received += consumed
+            in_cycle = ic
+            last_pkt, last_use = plan[-1]
+            if last_use < last_pkt.count:
+                self._current = last_pkt
+                self._offset = last_use
+            if cur > engine.cycle:
+                yield WaitCycles(cur - engine.cycle)
+        if in_cycle:
+            yield TICK

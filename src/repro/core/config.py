@@ -77,6 +77,21 @@ class HardwareConfig:
         The 1-byte packet header limits ranks (and ports) to 256 (§4.2).
     max_ports:
         Maximum distinct communication endpoints per rank (1-byte header).
+    burst_mode:
+        Enable the simulator's burst fast path: contiguous runs of packets
+        move through FIFOs, polling arbiters, CKS/CKR and links in a single
+        engine event with analytically computed per-item cycles, instead of
+        one generator step per packet per layer. Cycle counts and per-FIFO
+        push/pop statistics are identical with the flag on or off (enforced
+        by ``tests/test_burst_equivalence.py``); only wall-clock simulation
+        speed changes. Default on; turn off to A/B against the literal
+        per-flit interpretation.
+    record_accepts:
+        Opt-in arbiter instrumentation: when True every CKS/CKR polling
+        arbiter keeps a bounded histogram of inter-accept gaps (see
+        :class:`repro.simulation.stats.GapHistogram`), used by the polling
+        ablation benchmark. Off by default because it costs a dict update
+        per accepted packet.
     """
 
     clock_hz: float = DEFAULT_CLOCK_HZ
@@ -90,6 +105,8 @@ class HardwareConfig:
     reduce_credits: int = 256
     max_ranks: int = 256
     max_ports: int = 256
+    burst_mode: bool = True
+    record_accepts: bool = False
 
     def __post_init__(self) -> None:
         if self.clock_hz <= 0:

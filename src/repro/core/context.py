@@ -71,6 +71,23 @@ class SMIContext:
         """``SMI_Comm_size``."""
         return (comm or self.comm_world).size
 
+    def _check_peer(self, kind: str, port: int, other_global: int) -> None:
+        """Fail fast when a channel contradicts a declared static peer.
+
+        ``OpDecl.peer`` narrows the builder's flow-liveness analysis to
+        one route; traffic to any other rank would cross FIFOs proven
+        idle. Catch the contradiction at open time with an actionable
+        error instead of tripping the flow-dead guard mid-simulation.
+        """
+        decl = self._transport.ops_by_port.get((kind, port))
+        if (decl is not None and decl.peer is not None
+                and decl.peer != other_global):
+            raise ChannelError(
+                f"rank {self.rank}: {kind} channel on port {port} names "
+                f"rank {other_global} but the operation declared "
+                f"peer={decl.peer} — fix the OpDecl peer or drop it"
+            )
+
     # ------------------------------------------------------------------
     # Point-to-point (§3.1)
     # ------------------------------------------------------------------
@@ -85,9 +102,11 @@ class SMIContext:
         """``SMI_Open_send_channel`` — zero-overhead (§3.3)."""
         comm = comm or self.comm_world
         dst_global = comm.global_rank(destination)
+        self._check_peer("send", port, dst_global)
         return SendChannel(
             count, dtype, self.rank, dst_global, port, comm,
             endpoint=self._transport.send_endpoint(port),
+            burst_mode=self.config.burst_mode,
         )
 
     def open_recv_channel(
@@ -101,9 +120,11 @@ class SMIContext:
         """``SMI_Open_recv_channel``."""
         comm = comm or self.comm_world
         src_global = comm.global_rank(source)
+        self._check_peer("recv", port, src_global)
         return RecvChannel(
             count, dtype, src_global, self.rank, port, comm,
             endpoint=self._transport.recv_endpoint(port),
+            burst_mode=self.config.burst_mode,
         )
 
     def open_credited_send_channel(
@@ -124,6 +145,8 @@ class SMIContext:
 
         comm = comm or self.comm_world
         dst_global = comm.global_rank(destination)
+        self._check_peer("send", port, dst_global)
+        self._check_peer("recv", port, dst_global)  # the credit return path
         return CreditedSendChannel(
             count, dtype, self.rank, dst_global, port, comm,
             endpoint=self._transport.send_endpoint(port),
@@ -146,6 +169,8 @@ class SMIContext:
 
         comm = comm or self.comm_world
         src_global = comm.global_rank(source)
+        self._check_peer("recv", port, src_global)
+        self._check_peer("send", port, src_global)  # the credit return path
         return CreditedRecvChannel(
             count, dtype, src_global, self.rank, port, comm,
             endpoint=self._transport.recv_endpoint(port),

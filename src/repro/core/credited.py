@@ -49,8 +49,11 @@ class CreditedSendChannel(SendChannel):
         credit_endpoint: Fifo,
         window_packets: int,
     ) -> None:
+        # Channel-level bursting is off: the credit window is debited per
+        # packet inside _stage_packet, which the vectorised path bypasses.
+        # (The transport underneath still bursts.)
         super().__init__(count, dtype, src_global, dst_global, port, comm,
-                         endpoint)
+                         endpoint, burst_mode=False)
         if window_packets < 1:
             raise ChannelError("credit window must be >= 1 packet")
         self.credit_endpoint = credit_endpoint
@@ -96,8 +99,10 @@ class CreditedRecvChannel(RecvChannel):
         credit_endpoint: Fifo,
         window_packets: int,
     ) -> None:
+        # Channel-level bursting is off: credits are returned per consumed
+        # packet inside _next_packet, which the vectorised path bypasses.
         super().__init__(count, dtype, src_global, dst_global, port, comm,
-                         endpoint)
+                         endpoint, burst_mode=False)
         if window_packets < 1:
             raise ChannelError("credit window must be >= 1 packet")
         self.credit_endpoint = credit_endpoint

@@ -88,3 +88,22 @@ class Comparison:
         print()
         print(self.render())
         print()
+
+
+def burst_summary(engine) -> str:
+    """One-line burst fast-path summary for benchmark reports.
+
+    Aggregates the per-FIFO counters kept by the simulator's burst data
+    plane (``HardwareConfig.burst_mode``): how many multi-item bursts
+    moved through the FIFO layer, how many items they carried, and the
+    mean burst length. All-zero counters mean the run was per-flit.
+    """
+    from ..simulation.stats import collect_burst_stats
+
+    total = collect_burst_stats(engine)
+    if not total.bursts:
+        return "bursts: none (per-flit data plane)"
+    return (
+        f"bursts: {total.bursts:,} moving {total.items:,} items "
+        f"(mean length {total.mean_length:.2f})"
+    )

@@ -64,8 +64,8 @@ def measure_stream_sim(
         yield from ch.pop_vec(n_elements, width=app_width)
         marks["end"] = smi.cycle
 
-    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, dtype)])
-    prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, dtype)])
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, dtype, peer=hops)])
+    prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, dtype, peer=0)])
     res = prog.run(max_cycles=500_000_000)
     assert res.completed, res.reason
     return marks["end"]
@@ -130,9 +130,11 @@ def measure_pingpong_us(
         yield from smi.push(s, v)
 
     prog.add_kernel(origin, rank=0,
-                    ops=[OpDecl("send", 0, SMI_INT), OpDecl("recv", 1, SMI_INT)])
+                    ops=[OpDecl("send", 0, SMI_INT, peer=hops),
+                         OpDecl("recv", 1, SMI_INT, peer=hops)])
     prog.add_kernel(reflector, rank=hops,
-                    ops=[OpDecl("recv", 0, SMI_INT), OpDecl("send", 1, SMI_INT)])
+                    ops=[OpDecl("recv", 0, SMI_INT, peer=0),
+                         OpDecl("send", 1, SMI_INT, peer=0)])
     res = prog.run(max_cycles=5_000_000)
     assert res.completed, res.reason
     return config.cycles_to_us(marks["rtt"]) / 2

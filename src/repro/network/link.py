@@ -82,6 +82,16 @@ class Link:
     def wait_readable(self):
         return self.fifo.can_pop
 
+    def _check_wire(self, packet: Packet) -> None:
+        wire = packet.encode()
+        check = Packet.decode(wire, packet.dtype)
+        if (check.src, check.dst, check.port, check.op, check.count) != (
+            packet.src, packet.dst, packet.port, packet.op, packet.count
+        ):
+            raise SimulationError(
+                f"wire codec mismatch on {self.fifo.name}: {packet!r}"
+            )
+
     def stage(self, packet: Packet) -> None:
         """Transmit one packet (occupies one link slot)."""
         if not self.writable:
@@ -89,18 +99,34 @@ class Link:
                 f"link {self.fifo.name}: stage() while busy or full"
             )
         if self.validate:
-            wire = packet.encode()
-            check = Packet.decode(wire, packet.dtype)
-            if (check.src, check.dst, check.port, check.op, check.count) != (
-                packet.src, packet.dst, packet.port, packet.op, packet.count
-            ):
-                raise SimulationError(
-                    f"wire codec mismatch on {self.fifo.name}: {packet!r}"
-                )
+            self._check_wire(packet)
         self.fifo.stage(packet)
         self._next_free = self.fifo.engine.cycle + self.cycles_per_packet
         self.packets += 1
         self.payload_bytes += packet.payload_bytes
+
+    def stage_burst(self, packets: list[Packet], cycles: list[int]) -> None:
+        """Transmit a run of packets as if staged one per ``cycles[i]``.
+
+        The caller (a CKS burst drain) has already paced ``cycles`` at
+        ``cycles_per_packet`` granularity starting no earlier than
+        ``_next_free``, and checked the FIFO has space; packet counters are
+        still maintained per item so :meth:`utilization` stays accurate.
+        """
+        if not packets:
+            return
+        if cycles[0] < self._next_free:
+            raise SimulationError(
+                f"link {self.fifo.name}: burst starts at {cycles[0]} but the "
+                f"line is busy until {self._next_free}"
+            )
+        if self.validate:
+            for packet in packets:
+                self._check_wire(packet)
+        self.fifo.stage_burst(packets, cycles)
+        self._next_free = cycles[-1] + self.cycles_per_packet
+        self.packets += len(packets)
+        self.payload_bytes += sum(p.payload_bytes for p in packets)
 
     def take(self) -> Packet:
         return self.fifo.take()

@@ -12,6 +12,22 @@ Determinism: processes scheduled for the same cycle run in the order they
 were scheduled (a monotonically increasing sequence number breaks ties), so a
 simulation is exactly reproducible run-to-run.
 
+Burst timing: the burst fast path (gated by ``HardwareConfig.burst_mode``)
+moves whole runs of items in a single process step and then yields one
+``WaitCycles(window)`` instead of per-item TICKs. Two layers cooperate:
+the FIFO primitives (:mod:`repro.simulation.fifo`) stage/take runs with
+analytically computed per-item cycles, and the CK window planner
+(:func:`repro.transport.ck._plan_window`) simulates the polling loop
+forward over the *known* future — staged schedules, statically flow-dead
+inputs, downstream slot schedules — committing multi-round windows per
+event. The engine needs no special support: staged items commit at their
+individual ready cycles through the ordinary commit calendar, and slots
+freed ahead of schedule are held *reserved* and released (waking blocked
+producers) by the same mechanism — so burst and per-flit runs produce
+identical cycle counts and identical per-FIFO push/pop statistics,
+differing only in the number of engine events executed
+(``tests/test_burst_equivalence.py`` enforces this).
+
 Termination: ``run()`` returns once every non-daemon process has finished.
 Transport kernels (CKS/CKR, collective support kernels) are spawned as
 *daemons* — they serve forever and do not keep the simulation alive. If live
@@ -186,16 +202,23 @@ class Engine:
         entry = (proc, proc._token)
         for cond in conds:
             cond.waiters.append(entry)
+            # FIFO visibility/space is computed lazily from the clock, so a
+            # blocking process must arm the commit event that will wake it
+            # (items already staged / slots already reserved have known
+            # deadlines; later stages and takes arm their own wakes).
+            kind = type(cond)
+            if kind is CanPop or kind is CanPush:
+                cond.fifo._arm_waiter_wake(cond)
         proc._waiting_on = conds if len(conds) > 1 else conds[0]
 
     def _dispatch(self, proc: Process, cond) -> None:
         """Handle the condition a process yielded."""
-        if cond is TICK or cond is None:
-            self._schedule(proc, self.cycle + 1)
-            return
         kind = type(cond)
         if kind is WaitCycles:
             self._schedule(proc, self.cycle + cond.cycles)
+            return
+        if cond is TICK or cond is None:
+            self._schedule(proc, self.cycle + 1)
             return
         if kind is tuple or kind is list:
             if any(self._satisfied(c) for c in cond):
@@ -327,6 +350,8 @@ class Engine:
                 "max_occupancy": f.max_occupancy,
                 "capacity": f.capacity,
                 "latency": f.latency,
+                "bursts": f.burst_stats.bursts,
+                "burst_items": f.burst_stats.items,
             }
             for f in self._fifos
         }

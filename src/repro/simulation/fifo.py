@@ -15,15 +15,44 @@ Semantics (matching a hardware FIFO with registered full/empty flags):
 * One push and one pop per port per cycle: the ``push``/``pop`` helper
   generators each consume one simulated cycle per item, exactly like an HLS
   pipeline with initiation interval 1.
+
+Burst fast path
+---------------
+
+``stage_burst``/``take_burst`` (and the ``push_burst``/``pop_burst``
+generator helpers built on them) move a whole run of items in a single
+engine event while reproducing the per-flit cycle trajectory exactly:
+
+* a burst *stage* records each item with the ready cycle the one-per-cycle
+  handshake would have given it, so consumers observe identical ``readable``
+  transitions;
+* a burst *take* may consume items ahead of their per-flit take cycle (even
+  items still staged, whose future ready cycle is known), but the freed slot
+  is held in a *reserved* list until that cycle, so producers observe the
+  identical ``writable`` trajectory and wake at the identical cycles.
+
+``pushes``/``pops`` count every item individually in both modes and are
+burst-invariant. ``max_occupancy`` is exact in per-flit mode and a
+conservative (never lower than true, bounded by capacity) estimate in burst
+mode: a producer's committed window cannot subtract consumer takes that
+commit later in wall time but land earlier in simulated time.
+
+Both sides assume the single-producer / single-consumer wiring the SMI
+transport uses everywhere: per-item cycles are computed under the invariant
+that free space only grows and visibility only advances during a planned
+burst window.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generator
+from itertools import chain, islice
+from operator import gt
+from typing import Any, Generator, Iterable, Iterator, Sequence
 
 from ..core.errors import SimulationError
-from .conditions import TICK, CanPop, CanPush
+from .conditions import TICK, CanPop, CanPush, WaitCycles
+from .stats import BurstStats
 
 
 class Fifo:
@@ -49,6 +78,7 @@ class Fifo:
         "latency",
         "_visible",
         "_staged",
+        "_reserved",
         "can_pop",
         "can_push",
         "pushes",
@@ -56,6 +86,8 @@ class Fifo:
         "max_occupancy",
         "first_push_cycle",
         "last_pop_cycle",
+        "burst_stats",
+        "flow_dead",
     )
 
     def __init__(self, engine, name: str, capacity: int, latency: int = 1) -> None:
@@ -69,6 +101,9 @@ class Fifo:
         self.latency = latency
         self._visible: deque = deque()
         self._staged: deque = deque()  # entries: (ready_cycle, item)
+        # Slots taken ahead of schedule by a burst consumer, held occupied
+        # until their per-flit take cycle (non-decreasing release cycles).
+        self._reserved: deque = deque()
         self.can_pop = CanPop(self)
         self.can_push = CanPush(self)
         # --- statistics ---
@@ -77,6 +112,12 @@ class Fifo:
         self.max_occupancy = 0
         self.first_push_cycle: int | None = None
         self.last_pop_cycle: int | None = None
+        self.burst_stats = BurstStats()
+        # Static flow liveness (set by the transport builder): True means no
+        # declared communication flow can ever route a packet through this
+        # FIFO, so a burst planner may treat it as empty at any future cycle.
+        # Guarded by a stage-time tripwire rather than trusted silently.
+        self.flow_dead = False
         engine._register_fifo(self)
 
     # ------------------------------------------------------------------
@@ -84,17 +125,75 @@ class Fifo:
     # ------------------------------------------------------------------
     @property
     def readable(self) -> bool:
-        """True if at least one item is visible this cycle."""
-        return bool(self._visible)
+        """True if at least one item is visible this cycle.
+
+        Visibility is computed lazily: an item staged at ``t`` counts as
+        visible from ``t + latency`` on without requiring a commit event —
+        the engine's commit calendar is only used to *wake* blocked
+        processes (see :meth:`_commit`), which keeps the event count
+        per burst O(1) instead of O(items).
+        """
+        if self._visible:
+            return True
+        staged = self._staged
+        return bool(staged) and staged[0][0] <= self.engine.cycle
 
     @property
     def writable(self) -> bool:
-        """True if there is room for one more item (visible + staged)."""
+        """True if there is room for one more item."""
+        reserved = self._reserved
+        if reserved:
+            now = self.engine.cycle
+            while reserved and reserved[0] <= now:
+                reserved.popleft()
+            return (len(self._visible) + len(self._staged) + len(reserved)
+                    < self.capacity)
         return len(self._visible) + len(self._staged) < self.capacity
 
     @property
     def occupancy(self) -> int:
-        """Total items in flight (visible + staged)."""
+        """Slots in use: items in flight plus reserved (burst-held) slots."""
+        reserved = self._reserved
+        if reserved:
+            now = self.engine.cycle
+            while reserved and reserved[0] <= now:
+                reserved.popleft()
+        return len(self._visible) + len(self._staged) + len(reserved)
+
+    def _promote(self) -> None:
+        """Move staged items whose ready cycle has arrived into view."""
+        staged = self._staged
+        if staged:
+            now = self.engine.cycle
+            visible = self._visible
+            while staged and staged[0][0] <= now:
+                visible.append(staged.popleft()[1])
+
+    @property
+    def free_space(self) -> int:
+        """Free slots right now (burst planning helper)."""
+        return self.capacity - self.occupancy
+
+    def slot_plan(self, now: int) -> tuple[int, list]:
+        """``(free_slots, pending_release_cycles)`` in one pass.
+
+        The burst planner's slot snapshot: currently free slots plus the
+        sorted future release cycles of slots still reserved by a
+        consumer's burst takes. A producer plans stages beyond the free
+        slots against these: slot ``free + j`` becomes stageable at
+        ``releases[j] + 1`` — the cycle a producer blocked on ``can_push``
+        would wake and stage in the per-flit path.
+        """
+        reserved = self._reserved
+        while reserved and reserved[0] <= now:
+            reserved.popleft()
+        free = (self.capacity - len(self._visible) - len(self._staged)
+                - len(reserved))
+        return free, list(reserved)
+
+    @property
+    def present_count(self) -> int:
+        """Items physically in the FIFO (visible + staged, not reserved)."""
         return len(self._visible) + len(self._staged)
 
     def wait_writable(self):
@@ -106,12 +205,20 @@ class Fifo:
         return self.can_pop
 
     def __len__(self) -> int:
+        self._promote()
         return len(self._visible)
 
     # ------------------------------------------------------------------
     # Raw single-cycle operations (used by the handshake helpers below and
     # by modules that interleave several FIFO operations in one cycle).
     # ------------------------------------------------------------------
+    def _reject_flow_dead(self) -> None:
+        raise SimulationError(
+            f"fifo {self.name!r}: staged but marked flow-dead — an "
+            "OpDecl.peer declaration does not match actual traffic, or "
+            "the builder's flow-liveness analysis missed a route"
+        )
+
     def stage(self, item: Any) -> None:
         """Stage one item this cycle; it becomes visible ``latency`` later.
 
@@ -120,9 +227,12 @@ class Fifo:
         """
         if not self.writable:
             raise SimulationError(f"fifo {self.name!r}: stage() while full")
+        if self.flow_dead:
+            self._reject_flow_dead()
         ready = self.engine.cycle + self.latency
         self._staged.append((ready, item))
-        self.engine._schedule_commit(ready, self)
+        if self.can_pop.waiters:
+            self.engine._schedule_commit(self._staged[0][0], self)
         self.pushes += 1
         if self.first_push_cycle is None:
             self.first_push_cycle = self.engine.cycle
@@ -132,6 +242,8 @@ class Fifo:
 
     def take(self) -> Any:
         """Remove and return the oldest visible item (must be readable)."""
+        if not self._visible:
+            self._promote()
         if not self._visible:
             raise SimulationError(f"fifo {self.name!r}: take() while empty")
         item = self._visible.popleft()
@@ -146,8 +258,203 @@ class Fifo:
     def peek(self) -> Any:
         """Return (without removing) the oldest visible item."""
         if not self._visible:
+            self._promote()
+        if not self._visible:
             raise SimulationError(f"fifo {self.name!r}: peek() while empty")
         return self._visible[0]
+
+    # ------------------------------------------------------------------
+    # Burst fast path: move runs of items in one engine event with
+    # analytically computed per-item cycles (see module docstring).
+    # ------------------------------------------------------------------
+    def iter_present(self) -> Iterator[tuple[Any, int]]:
+        """Yield ``(item, ready_cycle)`` oldest-first over visible + staged.
+
+        Visible items report the current cycle (they are takeable now);
+        staged items report the future cycle they become visible. Burst
+        planners walk this to compute exact per-flit schedules.
+        """
+        now = self.engine.cycle
+        return chain(
+            ((item, now) for item in self._visible),
+            ((item, ready) for ready, item in self._staged),
+        )
+
+    def present_schedule(self, now: int, limit: int = 0) -> tuple[list, list]:
+        """``(items, ready_cycles)`` oldest-first over visible + staged.
+
+        The list form of :meth:`iter_present`, built with minimal overhead
+        for the burst planner's per-window snapshot. A positive ``limit``
+        truncates the snapshot (planners treat the cut as an unknown-future
+        boundary, which is always sound — a deep link FIFO would otherwise
+        be copied wholesale to serve a handful of takes).
+        """
+        visible = self._visible
+        nv = len(visible)
+        if limit and nv >= limit:
+            return list(islice(visible, limit)), [now] * limit
+        items = list(visible)
+        ready = [now] * nv
+        staged = self._staged
+        if limit and nv + len(staged) > limit:
+            staged = islice(staged, limit - nv)
+        for r, item in staged:
+            items.append(item)
+            ready.append(r)
+        return items, ready
+
+    def stage_burst(self, items: Sequence[Any], cycles: Sequence[int]) -> None:
+        """Stage ``items[i]`` as if at ``cycles[i]`` (visible ``latency``
+        later), all within the current engine event.
+
+        ``cycles`` must be non-decreasing and start at or after the current
+        cycle; the caller must have checked ``free_space >= len(items)``
+        (the per-flit path would not have staged a run it cannot fit — a
+        burst that overcommits is a planner bug and raises).
+        """
+        k = len(items)
+        if k == 0:
+            return
+        if len(cycles) != k:
+            raise SimulationError(
+                f"fifo {self.name!r}: stage_burst items/cycles length mismatch"
+            )
+        now = self.engine.cycle
+        if cycles[0] < now:
+            raise SimulationError(
+                f"fifo {self.name!r}: stage_burst cycle {cycles[0]} is in "
+                f"the past (now {now})"
+            )
+        if self.flow_dead:
+            self._reject_flow_dead()
+        staged = self._staged
+        latency = self.latency
+        prev = cycles[0]
+        # Walk the per-flit occupancy at each stage instant: reserved slots
+        # release over time, so a burst may stage beyond the instantaneous
+        # free space as long as every stage lands in a slot that is free by
+        # its own cycle (the planner paced it against slot_plan releases).
+        reserved = self._reserved
+        n_res = len(reserved)
+        base = len(self._visible) + len(staged)
+        capacity = self.capacity
+        if n_res == 0 and base + k <= capacity:
+            # Fast path: no reserved slots and the whole run fits — the
+            # occupancy trajectory is simply base+1 .. base+k, and the
+            # monotonicity check runs at C speed over cycle pairs.
+            if k > 1 and any(map(gt, cycles, islice(cycles, 1, None))):
+                raise SimulationError(
+                    f"fifo {self.name!r}: stage_burst cycles not monotone"
+                )
+            staged.extend(zip([cyc + latency for cyc in cycles], items))
+            if base + k > self.max_occupancy:
+                self.max_occupancy = base + k
+        else:
+            res_idx = 0
+            peak = self.max_occupancy
+            for item, cyc in zip(items, cycles):
+                if cyc < prev:
+                    raise SimulationError(
+                        f"fifo {self.name!r}: stage_burst cycles not monotone"
+                    )
+                prev = cyc
+                staged.append((cyc + latency, item))
+                base += 1
+                while res_idx < n_res and reserved[res_idx] <= cyc:
+                    res_idx += 1
+                occ = base + (n_res - res_idx)
+                if occ > capacity:
+                    raise SimulationError(
+                        f"fifo {self.name!r}: stage_burst overcommits at "
+                        f"cycle {cyc} ({occ} slots in a {capacity}-deep FIFO)"
+                    )
+                if occ > peak:
+                    peak = occ
+            self.max_occupancy = peak
+        if self.can_pop.waiters:
+            self.engine._schedule_commit(self._staged[0][0], self)
+        self.pushes += k
+        if self.first_push_cycle is None:
+            self.first_push_cycle = cycles[0]
+        if k > 1:
+            self.burst_stats.record(k)
+
+    def take_burst(self, cycles: Sequence[int], collect: bool = True) -> list:
+        """Remove the ``len(cycles)`` oldest items as if taken one per
+        ``cycles[i]``, all within the current engine event.
+
+        Items may still be staged as long as they are visible by their take
+        cycle. Each freed slot stays *reserved* until its take cycle, so
+        producers see the per-flit ``writable`` trajectory; the engine
+        releases the slot (and wakes blocked producers) on schedule.
+        ``collect=False`` skips building the result list (for callers that
+        already hold the item identities from their planning snapshot).
+        """
+        k = len(cycles)
+        if k == 0:
+            return []
+        now = self.engine.cycle
+        if cycles[0] < now:
+            raise SimulationError(
+                f"fifo {self.name!r}: take_burst cycle {cycles[0]} is in "
+                f"the past (now {now})"
+            )
+        if k > 1 and any(map(gt, cycles, islice(cycles, 1, None))):
+            raise SimulationError(
+                f"fifo {self.name!r}: take_burst cycles not monotone"
+            )
+        visible = self._visible
+        staged = self._staged
+        out: list = []
+        nv = min(k, len(visible))
+        if collect:
+            for _ in range(nv):
+                out.append(visible.popleft())
+        else:
+            for _ in range(nv):
+                visible.popleft()
+        rem = k - nv
+        if rem:
+            if rem > len(staged):
+                raise SimulationError(
+                    f"fifo {self.name!r}: take_burst ran out of items"
+                )
+            # Per-item visibility check at C speed: staged item i must be
+            # ready by its take cycle.
+            if any(map(gt, (r for r, _ in islice(staged, rem)),
+                       islice(cycles, nv, None))):
+                for cyc, (ready, _item) in zip(islice(cycles, nv, None),
+                                               staged):
+                    if ready > cyc:
+                        raise SimulationError(
+                            f"fifo {self.name!r}: take_burst at cycle {cyc} "
+                            f"but next item is only visible at {ready}"
+                        )
+            if collect:
+                for _ in range(rem):
+                    out.append(staged.popleft()[1])
+            else:
+                for _ in range(rem):
+                    staged.popleft()
+        # Slot bookkeeping: takes at the current cycle free their slot
+        # immediately (producers wake next cycle, like a plain take());
+        # future takes hold the slot *reserved* until their cycle.
+        i0 = 0
+        if cycles[0] == now:
+            if self.can_push.waiters:
+                self.engine._wake_all(self.can_push, delay=1)
+            while i0 < k and cycles[i0] == now:
+                i0 += 1
+        if i0 < k:
+            self._reserved.extend(islice(cycles, i0, None))
+            if self.can_push.waiters:
+                # A blocked producer needs its wake at the first release.
+                self.engine._schedule_commit(cycles[i0], self)
+        self.pops += k
+        self.last_pop_cycle = cycles[-1]
+        if k > 1:
+            self.burst_stats.record(k)
+        return out
 
     # ------------------------------------------------------------------
     # Handshake helpers: one item per cycle, blocking on full/empty.
@@ -185,29 +492,90 @@ class Fifo:
             yield TICK
         return out
 
+    def push_burst(self, items) -> Generator:
+        """Burst-mode ``push_many``: identical cycle behaviour, one engine
+        event per run of ``min(remaining, free_space)`` items."""
+        items = list(items)
+        i = 0
+        n = len(items)
+        while i < n:
+            free = self.free_space
+            if free == 0:
+                yield self.can_push
+                continue
+            k = min(free, n - i)
+            start = self.engine.cycle
+            self.stage_burst(items[i : i + k], range(start, start + k))
+            i += k
+            yield WaitCycles(k)
+
+    def pop_burst(self, count: int) -> Generator:
+        """Burst-mode ``pop_many``: identical cycle behaviour, draining every
+        present item (visible *and* staged, via its known ready cycle) in one
+        engine event per run."""
+        out: list = []
+        while len(out) < count:
+            if not self.present_count:
+                yield self.can_pop
+                continue
+            cycles = []
+            c = self.engine.cycle
+            for _item, ready in self.iter_present():
+                if len(out) + len(cycles) >= count:
+                    break
+                c = max(c, ready)
+                cycles.append(c)
+                c += 1
+            out.extend(self.take_burst(cycles))
+            end = cycles[-1] + 1
+            if end > self.engine.cycle:
+                yield WaitCycles(end - self.engine.cycle)
+        return out
+
     # ------------------------------------------------------------------
     # Engine interface
     # ------------------------------------------------------------------
     def _commit(self, cycle: int) -> None:
-        """Move staged items whose ready time has arrived into view."""
-        staged = self._staged
-        visible = self._visible
-        moved = False
-        while staged and staged[0][0] <= cycle:
-            visible.append(staged.popleft()[1])
-            moved = True
-        if moved and self.can_pop.waiters:
-            self.engine._wake_all(self.can_pop, delay=0)
+        """Wake waiters whose condition has come true with the clock.
+
+        Item visibility and reserved-slot release are computed lazily from
+        the current cycle (:attr:`readable` / :attr:`occupancy`), so commit
+        events exist purely to wake blocked processes. They are scheduled
+        only when a process blocks (``Engine._block``) or when state changes
+        while waiters exist; if a wake target is still unsatisfied (e.g. a
+        second producer refilled the space), re-arm at the next deadline.
+        """
+        if self.can_pop.waiters:
+            if self.readable:
+                self.engine._wake_all(self.can_pop, delay=0)
+            elif self._staged:
+                self.engine._schedule_commit(self._staged[0][0], self)
+        if self.can_push.waiters:
+            if self.writable:
+                # Same wake timing as a take() in this cycle: producers run
+                # next cycle (registered full flag).
+                self.engine._wake_all(self.can_push, delay=1)
+            elif self._reserved:
+                self.engine._schedule_commit(self._reserved[0], self)
 
     def _next_commit_cycle(self) -> int | None:
-        """Cycle of the earliest pending staged item, if any."""
+        """Cycle of the earliest pending staged item, if any (test helper)."""
         return self._staged[0][0] if self._staged else None
+
+    def _arm_waiter_wake(self, cond) -> None:
+        """Schedule the commit a newly-blocked waiter of ``cond`` needs."""
+        if cond is self.can_pop:
+            if self._staged:
+                self.engine._schedule_commit(self._staged[0][0], self)
+        elif self._reserved:
+            self.engine._schedule_commit(self._reserved[0], self)
 
     def drain(self) -> list:
         """Remove and return all items (visible and staged); test helper."""
         items = list(self._visible) + [item for _, item in self._staged]
         self._visible.clear()
         self._staged.clear()
+        self._reserved.clear()
         return items
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

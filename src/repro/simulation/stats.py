@@ -81,3 +81,70 @@ class CycleHistogram:
         if not self.gaps:
             raise ValueError("no gaps recorded")
         return sum(self.gaps) / len(self.gaps)
+
+
+@dataclass
+class GapHistogram:
+    """Bounded histogram of inter-event gaps in cycles.
+
+    Unlike :class:`CycleHistogram` this stores one counter per *distinct*
+    gap value rather than one entry per event, so it stays O(distinct gaps)
+    no matter how many packets flow through — safe to leave attached to a
+    long-running arbiter (the unbounded per-packet list it replaces grew by
+    one int per accepted packet forever).
+    """
+
+    last_cycle: int | None = None
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def record(self, cycle: int) -> None:
+        if self.last_cycle is not None:
+            gap = cycle - self.last_cycle
+            self.counts[gap] = self.counts.get(gap, 0) + 1
+        self.last_cycle = cycle
+
+    @property
+    def count(self) -> int:
+        """Number of gaps recorded (events - 1)."""
+        return sum(self.counts.values())
+
+    @property
+    def mean_gap(self) -> float:
+        total = self.count
+        if not total:
+            raise ValueError("no gaps recorded")
+        return sum(g * n for g, n in self.counts.items()) / total
+
+    @property
+    def max_gap(self) -> int:
+        if not self.counts:
+            raise ValueError("no gaps recorded")
+        return max(self.counts)
+
+
+@dataclass
+class BurstStats:
+    """Counters for the burst fast path (bursts taken, items moved)."""
+
+    bursts: int = 0
+    items: int = 0
+
+    def record(self, length: int) -> None:
+        self.bursts += 1
+        self.items += length
+
+    @property
+    def mean_length(self) -> float:
+        return self.items / self.bursts if self.bursts else 0.0
+
+    def merge(self, other: "BurstStats") -> "BurstStats":
+        return BurstStats(self.bursts + other.bursts, self.items + other.items)
+
+
+def collect_burst_stats(engine) -> BurstStats:
+    """Aggregate burst counters over every FIFO owned by ``engine``."""
+    total = BurstStats()
+    for fifo in engine.fifos:
+        total.bursts += fifo.burst_stats.bursts
+        total.items += fifo.burst_stats.items
+    return total

@@ -25,15 +25,29 @@ from typing import Callable, Generator
 from ..core.errors import SimulationError
 from ..simulation.conditions import TICK, WaitCycles
 from ..simulation.fifo import Fifo
+from ..simulation.stats import GapHistogram
 
 
 class PollingArbiter:
-    """Round-robin R-burst polling over a fixed list of input FIFOs."""
+    """Round-robin R-burst polling over a fixed list of input FIFOs.
+
+    ``record_accepts`` (opt-in) keeps a bounded :class:`GapHistogram` of
+    inter-accept gaps for the polling ablation benchmark; the default is
+    off so a long-running kernel carries no per-packet state.
+    """
 
     __slots__ = ("inputs", "read_burst", "_idx", "packets_accepted",
-                 "_wait_conds", "accept_cycles")
+                 "_wait_conds", "accept_hist", "_plan_miss", "_plan_skip")
 
-    def __init__(self, inputs: list[Fifo], read_burst: int) -> None:
+    #: Consecutive planner misses before backing off, and how many polls
+    #: to skip planning for once backed off. Workloads the planner cannot
+    #: prove anything about (e.g. collectives keep every input flow-live)
+    #: would otherwise pay a failed planning attempt per per-flit packet.
+    PLAN_MISS_LIMIT = 4
+    PLAN_SKIP_POLLS = 256
+
+    def __init__(self, inputs: list[Fifo], read_burst: int,
+                 record_accepts: bool = False) -> None:
         if not inputs:
             raise SimulationError("polling arbiter needs at least one input")
         if read_burst < 1:
@@ -42,29 +56,79 @@ class PollingArbiter:
         self.read_burst = read_burst
         self._idx = 0
         self.packets_accepted = 0
-        self.accept_cycles: list[int] = []
+        self.accept_hist: GapHistogram | None = (
+            GapHistogram() if record_accepts else None
+        )
         self._wait_conds = tuple(f.can_pop for f in inputs)
+        self._plan_miss = 0
+        self._plan_skip = 0
 
-    def run(self, forward: Callable, engine) -> Generator:
+    def record_accept(self, cycle: int) -> None:
+        """Count one accepted packet (histogram only if opted in)."""
+        self.packets_accepted += 1
+        if self.accept_hist is not None:
+            self.accept_hist.record(cycle)
+
+    def run(self, forward: Callable, engine, planner=None) -> Generator:
         """The kernel main loop: poll, and hand packets to ``forward``.
 
         ``forward(packet)`` must be a generator that completes the same-cycle
         routing decision and staging of the packet (it may internally stall
         on backpressure). One packet is accepted per cycle at most.
+
+        ``planner(arbiter, engine, resume_reads, skip)``, if given, is the
+        burst fast path (see :func:`repro.transport.ck._plan_window`): a
+        plain call that simulates this very loop forward over the *known*
+        future — staged input schedules, flow-dead inputs, downstream slot
+        schedules — commits every take/stage it proved, and returns
+        ``(window, idx, resume_reads)`` so the loop sleeps the whole planned
+        window in one engine event and resumes in the exact per-flit state
+        (``resume_reads >= 0`` means mid-round with that many reads done).
+        ``None`` means nothing was provable; fall back to one per-flit step.
+        After a parked wake-up the pointer-scan charge is fused into the
+        same event as the plan (``skip``).
         """
         inputs = self.inputs
         n = len(inputs)
         burst = self.read_burst
+        resume_reads = -1  # >= 0: continue an R-round a plan left open
         while True:
+            if planner is not None:
+                if self._plan_skip:
+                    self._plan_skip -= 1
+                else:
+                    before = self.packets_accepted
+                    plan = planner(self, engine, resume_reads, 0)
+                    if plan is not None and \
+                            self.packets_accepted - before > 1:
+                        self._plan_miss = 0
+                    else:
+                        # A failed attempt — or a window so short that
+                        # planning cost more than the events it saved.
+                        self._plan_miss += 1
+                        if self._plan_miss >= self.PLAN_MISS_LIMIT:
+                            # Nothing batchable here lately: poll per-flit
+                            # for a while before trying to plan again.
+                            self._plan_miss = 0
+                            self._plan_skip = self.PLAN_SKIP_POLLS
+                    if plan is not None:
+                        window, self._idx, resume_reads = plan
+                        yield WaitCycles(window)
+                        continue
             fifo = inputs[self._idx]
-            if fifo.readable:
-                reads = 0
-                while reads < burst and fifo.readable:
+            if resume_reads >= 0 or fifo.readable:
+                reads = max(resume_reads, 0)
+                resume_reads = -1
+                if reads < burst and fifo.readable:
                     pkt = fifo.take()
-                    self.packets_accepted += 1
-                    self.accept_cycles.append(engine.cycle)
+                    self.record_accept(engine.cycle)
                     yield from forward(pkt)
                     reads += 1
+                    if reads < burst:
+                        # Stay in the round; the planner gets another look
+                        # before the next per-flit read.
+                        resume_reads = reads
+                        continue
                 self._idx = (self._idx + 1) % n
             else:
                 self._idx = (self._idx + 1) % n
@@ -81,4 +145,11 @@ class PollingArbiter:
                         self._idx = (self._idx + 1) % n
                         scan += 1
                     if scan:
+                        if planner is not None and not self._plan_skip:
+                            # Fuse the scan charge into the plan's sleep.
+                            plan = planner(self, engine, -1, scan)
+                            if plan is not None:
+                                window, self._idx, resume_reads = plan
+                                yield WaitCycles(window)
+                                continue
                         yield WaitCycles(scan)

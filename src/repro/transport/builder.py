@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 
 from ..codegen.metadata import OpDecl, ProgramPlan, RankPlan
 from ..core.config import HardwareConfig
-from ..core.errors import CodegenError
+from ..core.errors import CodegenError, RoutingError
 from ..network.fabric import Fabric
+from ..network.link import Link
 from ..network.routing import Routes
 from ..simulation.engine import Engine
 from ..simulation.fifo import Fifo
@@ -85,6 +86,107 @@ def _endpoint_depth(config: HardwareConfig, decl: OpDecl | None) -> int:
     return config.endpoint_fifo_depth
 
 
+class _RouteProbe:
+    """Packet stand-in for the static liveness walk (routing reads dst/port)."""
+
+    __slots__ = ("src", "dst", "port")
+
+    def __init__(self, src: int, dst: int, port: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.port = port
+
+
+def _mark_flow_liveness(
+    plan: ProgramPlan,
+    ranks: dict[int, RankTransport],
+    transit: list[Fifo],
+) -> None:
+    """Statically mark transport FIFOs no declared flow can ever traverse.
+
+    For every declared send-capable operation, walk the packet's route
+    through the *actual* CKS/CKR routing functions (one walk per possible
+    destination; ``OpDecl.peer`` narrows that to one). Transit FIFOs not
+    visited by any walk are marked ``flow_dead``: the burst planner may
+    then treat them as provably empty at any future cycle, which is what
+    lets it plan whole multi-round polling windows in a single engine
+    event. Collective support kernels generate traffic patterns that
+    depend on runtime communicators, so any collective declaration keeps
+    every transit FIFO live (the analysis only ever errs towards "live").
+    """
+    if any(p.collective_ops() for p in plan.rank_plans.values()):
+        return
+    visited: set[int] = set()
+    num_ranks = plan.num_ranks
+    for rank, rank_plan in plan.rank_plans.items():
+        for port, decl in rank_plan.send_ports().items():
+            dsts = [decl.peer] if decl.peer is not None else range(num_ranks)
+            for dst in dsts:
+                _walk_flow(ranks, visited, rank, dst, port)
+    for f in transit:
+        if id(f) not in visited:
+            f.flow_dead = True
+
+
+def _walk_flow(
+    ranks: dict[int, RankTransport],
+    visited: set[int],
+    src: int,
+    dst: int,
+    port: int,
+) -> None:
+    """Visit every transit FIFO the flow ``src -> dst`` on ``port`` crosses."""
+    rt = ranks[src]
+    if port not in rt.iface_of_port:
+        return
+    probe = _RouteProbe(src, dst, port)
+    module: tuple[str, int, int] | None = ("cks", src, rt.iface_of_port[port])
+    # A route can cross at most every CK module once; anything longer is a
+    # wiring loop and the guard below turns it into a loud failure.
+    guard = 4 * sum(len(r.cks) + len(r.ckr) for r in ranks.values()) + 4
+    for _ in range(guard):
+        kind, rank, iface = module
+        ck = ranks[rank].cks[iface] if kind == "cks" else ranks[rank].ckr[iface]
+        try:
+            out = ck._route(probe)
+        except RoutingError:
+            return  # unreachable destination: no packet can take this path
+        if isinstance(out, Link):
+            visited.add(id(out.fifo))
+            nrank, niface = out.dst
+            module = ("ckr", nrank, niface)
+            continue
+        visited.add(id(out))
+        nxt = _find_consumer(ranks, out)
+        if nxt is None:
+            return  # delivered to a receive endpoint: walk complete
+        module = nxt
+    raise CodegenError(
+        f"flow-liveness walk {src}->{dst} port {port} did not terminate — "
+        "transport wiring loop?"
+    )
+
+
+def _find_consumer(
+    ranks: dict[int, RankTransport], fifo: Fifo
+) -> tuple[str, int, int] | None:
+    """The CK module reading ``fifo``, or None for app-side endpoints."""
+    for rank, rt in ranks.items():
+        for i, cks in rt.cks.items():
+            if fifo is cks.to_paired_ckr:
+                return ("ckr", rank, i)
+            for j, f in cks.to_other_cks.items():
+                if fifo is f:
+                    return ("cks", rank, j)
+        for i, ckr in rt.ckr.items():
+            if fifo is ckr.to_paired_cks:
+                return ("cks", rank, i)
+            for j, f in ckr.to_other_ckr.items():
+                if fifo is f:
+                    return ("ckr", rank, j)
+    return None
+
+
 def build_transport(
     engine: Engine,
     plan: ProgramPlan,
@@ -94,6 +196,16 @@ def build_transport(
 ) -> Transport:
     """Instantiate and spawn the full transport for ``plan``."""
     plan.validate()
+    # Peer declarations must name ranks that exist, regardless of whether
+    # the flow-liveness analysis (which consumes them) will run.
+    for rank, rank_plan in plan.rank_plans.items():
+        for decl in rank_plan.ops:
+            if decl.peer is not None and decl.peer >= plan.num_ranks:
+                raise CodegenError(
+                    f"rank {rank} port {decl.port}: declared peer "
+                    f"{decl.peer} does not exist (program has "
+                    f"{plan.num_ranks} ranks)"
+                )
     topology = routes.topology
     if plan.num_ranks > topology.num_ranks:
         raise CodegenError(
@@ -102,6 +214,7 @@ def build_transport(
         )
     fabric = Fabric(engine, topology, config, validate_wire=validate_wire)
     ranks: dict[int, RankTransport] = {}
+    transit: list[Fifo] = [link.fifo for link in fabric.links()]
 
     for rank in range(plan.num_ranks):
         rank_plan = plan.rank_plans.get(rank, RankPlan(rank))
@@ -152,6 +265,10 @@ def build_transport(
                    for i in active}
         cks2ckr = {i: engine.fifo(f"rank{rank}.cks{i}->ckr{i}", depth)
                    for i in active}
+        transit.extend(cks2cks.values())
+        transit.extend(ckr2ckr.values())
+        transit.extend(ckr2cks.values())
+        transit.extend(cks2ckr.values())
 
         # --- communication kernels ------------------------------------------
         egress = routes.next_iface[rank]
@@ -174,6 +291,8 @@ def build_transport(
                 to_other_cks={j: cks2cks[(i, j)] for j in active if j != i},
                 egress_iface=egress,
                 read_burst=config.read_burst,
+                burst_mode=config.burst_mode,
+                record_accepts=config.record_accepts,
             )
             rt.cks[i] = cks
             engine.spawn(cks.process(engine), cks.name, daemon=True)
@@ -194,6 +313,8 @@ def build_transport(
                     if iface_of_port[p] == i
                 },
                 read_burst=config.read_burst,
+                burst_mode=config.burst_mode,
+                record_accepts=config.record_accepts,
             )
             rt.ckr[i] = ckr
             engine.spawn(ckr.process(engine), ckr.name, daemon=True)
@@ -217,5 +338,10 @@ def build_transport(
             )
             rt.support_kernels[port] = kernel
             engine.spawn(kernel.process(engine), kernel.name, daemon=True)
+
+    if config.burst_mode:
+        # Only the burst planner consumes liveness; the per-flit reference
+        # interpretation stays free of the analysis (and its tripwire).
+        _mark_flow_liveness(plan, ranks, transit)
 
     return Transport(config=config, routes=routes, fabric=fabric, ranks=ranks)

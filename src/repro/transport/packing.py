@@ -61,9 +61,42 @@ class PacketPacker:
             return self._make()
         return None
 
+    def pack_run(self, values: np.ndarray, flush_tail: bool = False) -> list[Packet]:
+        """Vectorised :meth:`add` over a whole array (burst fast path).
+
+        Consumes ``values`` (prefixed by any partially buffered elements)
+        and returns every packet that completes, slicing payloads straight
+        out of the array instead of appending element by element. A
+        trailing partial packet stays buffered — unless ``flush_tail`` is
+        set (the run ends the message), in which case it is emitted exactly
+        like the per-element path's final :meth:`flush`.
+        """
+        vals = np.asarray(values, dtype=self.dtype.np_dtype)
+        if self._buf:
+            vals = np.concatenate(
+                [np.array(self._buf, dtype=self.dtype.np_dtype), vals]
+            )
+            self._buf.clear()
+        epp = self.dtype.elements_per_packet
+        full = len(vals) // epp
+        packets = [
+            self._from_payload(np.array(vals[k * epp : (k + 1) * epp]))
+            for k in range(full)
+        ]
+        tail = vals[full * epp :]
+        if len(tail):
+            if flush_tail:
+                packets.append(self._from_payload(np.array(tail)))
+            else:
+                self._buf = list(tail)
+        return packets
+
     def _make(self) -> Packet:
         payload = np.array(self._buf, dtype=self.dtype.np_dtype)
         self._buf.clear()
+        return self._from_payload(payload)
+
+    def _from_payload(self, payload: np.ndarray) -> Packet:
         self._emitted += 1
         return Packet(
             src=self.src, dst=self.dst, port=self.port, op=OpType.DATA,

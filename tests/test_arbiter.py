@@ -7,9 +7,10 @@ from repro.simulation import TICK, Engine, WaitCycles
 from repro.transport.arbiter import PollingArbiter
 
 
-def _run_arbiter(eng, inputs, read_burst, out, stop_after):
+def _run_arbiter(eng, inputs, read_burst, out, stop_after,
+                 record_accepts=False):
     """Spawn an arbiter that forwards packets into ``out`` list."""
-    arb = PollingArbiter(inputs, read_burst)
+    arb = PollingArbiter(inputs, read_burst, record_accepts=record_accepts)
 
     def forward(pkt):
         out.append((eng.cycle, pkt))
@@ -161,7 +162,8 @@ def test_accept_counter():
     eng = Engine()
     f = eng.fifo("f", capacity=8)
     out = []
-    arb = _run_arbiter(eng, [f], read_burst=4, out=out, stop_after=None)
+    arb = _run_arbiter(eng, [f], read_burst=4, out=out, stop_after=None,
+                       record_accepts=True)
 
     def producer():
         for i in range(9):
@@ -171,4 +173,15 @@ def test_accept_counter():
     _spawn_drain_waiter(eng, out, 9)
     eng.run()
     assert arb.packets_accepted == 9
-    assert len(arb.accept_cycles) == 9
+    # The opt-in histogram stays bounded: one gap per accept after the
+    # first, stored per distinct gap value rather than per packet.
+    assert arb.accept_hist is not None
+    assert arb.accept_hist.count == 8
+    assert arb.accept_hist.mean_gap >= 1.0
+
+
+def test_accept_recording_off_by_default():
+    eng = Engine()
+    f = eng.fifo("f", capacity=8)
+    arb = PollingArbiter([f], read_burst=4)
+    assert arb.accept_hist is None  # no per-packet state unless opted in

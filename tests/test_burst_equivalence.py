@@ -1,0 +1,424 @@
+"""Burst fast path vs per-flit reference: cycle-exact equivalence.
+
+The acceptance bar for ``HardwareConfig.burst_mode`` (the batched data
+plane through FIFO -> arbiter -> CKS/CKR -> link) is that it changes
+*nothing* observable: every workload must produce identical results,
+identical ``RunResult.cycles``, and identical per-FIFO push/pop counts
+and occupancy peaks with the flag on or off. Only wall-clock simulation
+speed may differ.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NOCTUA, SMI_FLOAT, SMI_INT, SMIProgram, bus, noctua_bus
+from repro.apps.gesummv import run_distributed_sim as gesummv_sim
+from repro.apps.stencil import jacobi_reference
+from repro.apps.stencil import run_distributed_sim as stencil_sim
+from repro.codegen.metadata import OpDecl
+from repro.core.ops import SMI_ADD
+from repro.network.topology import torus2d
+
+
+def _cfg(burst):
+    return NOCTUA.with_(burst_mode=burst)
+
+
+def _fifo_counts(engine):
+    """Per-FIFO (pushes, pops) — burst-invariant stats.
+
+    ``max_occupancy`` is deliberately not compared: in burst mode it is a
+    conservative upper bound (a producer's committed window cannot see
+    consumer takes that commit later in wall time but earlier in simulated
+    time), while pushes/pops count every item exactly in both modes.
+    """
+    return {
+        name: (s["pushes"], s["pops"])
+        for name, s in engine.fifo_stats().items()
+    }
+
+
+def _run_both(build):
+    """Run ``build(config)`` with burst off/on; assert cycle/stat equality.
+
+    ``build`` returns a :class:`repro.core.program.ProgramResult`; the
+    per-flit interpretation (burst off) is the reference.
+    """
+    ref = build(_cfg(False))
+    fast = build(_cfg(True))
+    assert fast.cycles == ref.cycles
+    assert _fifo_counts(fast.engine) == _fifo_counts(ref.engine)
+    return ref, fast
+
+
+# ----------------------------------------------------------------------
+# Point-to-point streams
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("hops", [1, 4])
+@pytest.mark.parametrize("n,width", [(40, 4), (1024, 8), (515, 8)])
+def test_p2p_stream_equivalence(hops, n, width):
+    data = np.arange(n, dtype=np.float32)
+
+    def build(config):
+        prog = SMIProgram(noctua_bus(), config=config)
+
+        def snd(smi):
+            ch = smi.open_send_channel(n, SMI_FLOAT, hops, 0)
+            yield from ch.push_vec(data, width=width)
+
+        def rcv(smi):
+            ch = smi.open_recv_channel(n, SMI_FLOAT, 0, 0)
+            out = yield from ch.pop_vec(n, width=width)
+            smi.store("out", out)
+            smi.store("end", smi.cycle)
+
+        prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_FLOAT)])
+        prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, SMI_FLOAT)])
+        res = prog.run(max_cycles=50_000_000)
+        assert res.completed, res.reason
+        return res
+
+    ref, fast = _run_both(build)
+    assert ref.store(hops, "end") == fast.store(hops, "end")
+    np.testing.assert_array_equal(fast.store(hops, "out"), data)
+
+
+def test_p2p_bidirectional_same_port_equivalence():
+    """Two opposing streams share the fabric (live inputs on both sides)."""
+    n = 200
+
+    def build(config):
+        prog = SMIProgram(bus(3), config=config)
+
+        # rank0 sends on port 0, receives on port 1; rank2 mirrors.
+        def k0(smi):
+            s = smi.open_send_channel(n, SMI_INT, 2, 0)
+            for i in range(n):
+                yield from smi.push(s, i)
+            r = smi.open_recv_channel(n, SMI_INT, 2, 1)
+            got = []
+            for _ in range(n):
+                got.append(int((yield from smi.pop(r))))
+            smi.store("got", got)
+
+        def k2(smi):
+            s = smi.open_send_channel(n, SMI_INT, 0, 1)
+            for i in range(n):
+                yield from smi.push(s, 100000 + i)
+            r = smi.open_recv_channel(n, SMI_INT, 0, 0)
+            got = []
+            for _ in range(n):
+                got.append(int((yield from smi.pop(r))))
+            smi.store("got", got)
+
+        prog.add_kernel(k0, rank=0, ops=[OpDecl("send", 0, SMI_INT),
+                                         OpDecl("recv", 1, SMI_INT)])
+        prog.add_kernel(k2, rank=2, ops=[OpDecl("send", 1, SMI_INT),
+                                         OpDecl("recv", 0, SMI_INT)])
+        res = prog.run(max_cycles=50_000_000)
+        assert res.completed, res.reason
+        return res
+
+    ref, fast = _run_both(build)
+    assert fast.store(0, "got") == [100000 + i for i in range(n)]
+    assert fast.store(2, "got") == list(range(n))
+
+
+# ----------------------------------------------------------------------
+# Credit-based flow control
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("window,stall", [(4, 0), (2, 300)])
+def test_credited_p2p_equivalence(window, stall):
+    n = 150
+    ops = [OpDecl("send", 0, SMI_INT), OpDecl("recv", 0, SMI_INT)]
+
+    def build(config):
+        prog = SMIProgram(bus(2), config=config)
+
+        def sender(smi):
+            ch = smi.open_credited_send_channel(n, SMI_INT, 1, 0,
+                                                window_packets=window)
+            for i in range(n):
+                yield from smi.push(ch, i)
+
+        def receiver(smi):
+            ch = smi.open_credited_recv_channel(n, SMI_INT, 0, 0,
+                                                window_packets=window)
+            if stall:
+                yield smi.wait(stall)
+            out = []
+            for _ in range(n):
+                out.append(int((yield from smi.pop(ch))))
+            smi.store("out", out)
+
+        prog.add_kernel(sender, rank=0, ops=ops)
+        prog.add_kernel(receiver, rank=1, ops=ops)
+        res = prog.run(max_cycles=10_000_000)
+        assert res.completed, res.reason
+        return res
+
+    ref, fast = _run_both(build)
+    assert fast.store(1, "out") == list(range(n))
+
+
+# ----------------------------------------------------------------------
+# Collectives (support kernels keep every transit FIFO flow-live)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["bcast", "reduce"])
+def test_collective_equivalence(kind):
+    n = 64
+    num_ranks = 4
+
+    def build(config):
+        prog = SMIProgram(noctua_bus(), config=config)
+        op = (OpDecl("reduce", 0, SMI_FLOAT, reduce_op=SMI_ADD)
+              if kind == "reduce" else OpDecl("bcast", 0, SMI_FLOAT))
+
+        def kernel(smi):
+            comm = smi.comm_world.sub(list(range(num_ranks)))
+            if not comm.contains(smi.rank):
+                return
+                yield  # pragma: no cover
+            out = []
+            if kind == "bcast":
+                chan = smi.open_bcast_channel(n, SMI_FLOAT, 0, 0, comm)
+                for i in range(n):
+                    v = yield from chan.bcast(
+                        float(i) if smi.rank == 0 else None)
+                    out.append(float(v))
+            else:
+                chan = smi.open_reduce_channel(n, SMI_FLOAT, SMI_ADD, 0, 0,
+                                               comm)
+                for i in range(n):
+                    v = yield from chan.reduce(float(smi.rank + i))
+                    if smi.rank == 0:
+                        out.append(float(v))
+            smi.store("out", out)
+            smi.store("end", smi.cycle)
+
+        prog.add_kernel(kernel, ranks="all", ops=[op])
+        res = prog.run(max_cycles=50_000_000)
+        assert res.completed, res.reason
+        return res
+
+    ref, fast = _run_both(build)
+    for rank in range(num_ranks):
+        assert ref.store(rank, "end") == fast.store(rank, "end")
+    if kind == "bcast":
+        assert fast.store(3, "out") == [float(i) for i in range(n)]
+    else:
+        expect = [float(sum(r + i for r in range(num_ranks)))
+                  for i in range(n)]
+        assert fast.store(0, "out") == expect
+
+
+# ----------------------------------------------------------------------
+# Applications
+# ----------------------------------------------------------------------
+def test_gesummv_equivalence():
+    rng = np.random.default_rng(7)
+    n = 24
+    A = rng.standard_normal((n, n)).astype(np.float32)
+    B = rng.standard_normal((n, n)).astype(np.float32)
+    x = rng.standard_normal(n).astype(np.float32)
+    y_ref, us_ref = gesummv_sim(0.5, 2.0, A, B, x, config=_cfg(False))
+    y_fast, us_fast = gesummv_sim(0.5, 2.0, A, B, x, config=_cfg(True))
+    assert us_fast == us_ref
+    np.testing.assert_array_equal(y_fast, y_ref)
+
+
+def test_stencil_equivalence():
+    rng = np.random.default_rng(11)
+    grid = rng.standard_normal((12, 12)).astype(np.float32)
+    topo = torus2d(2, 2)
+    out_ref, us_ref = stencil_sim(grid, 3, (2, 2), topology=topo,
+                                  config=_cfg(False))
+    out_fast, us_fast = stencil_sim(grid, 3, (2, 2), topology=topo,
+                                    config=_cfg(True))
+    assert us_fast == us_ref
+    np.testing.assert_array_equal(out_fast, out_ref)
+    np.testing.assert_allclose(
+        out_fast, jacobi_reference(grid, 3).astype(np.float32), atol=1e-4)
+
+
+def test_two_senders_error_cycle_equivalence():
+    """A stream violation (two senders on one port) must raise at the same
+    simulated cycle with the same FIFO state in both modes — the burst
+    planner stops before the offending packet and lets the per-flit path
+    consume it."""
+    from repro.core.errors import ChannelError
+
+    def build(config):
+        prog = SMIProgram(bus(3), config=config)
+        n = 32
+        caught = {}
+
+        def s0(smi):
+            ch = smi.open_send_channel(n, SMI_FLOAT, 2, 0)
+            yield from ch.push_vec(np.zeros(n, dtype=np.float32), width=8)
+
+        def s1(smi):
+            yield smi.wait(40)
+            ch = smi.open_send_channel(n, SMI_FLOAT, 2, 0)
+            yield from ch.push_vec(np.ones(n, dtype=np.float32), width=8)
+
+        def rcv(smi):
+            ch = smi.open_recv_channel(2 * n, SMI_FLOAT, 0, 0)
+            try:
+                yield from ch.pop_vec(2 * n, width=8)
+            except ChannelError:
+                caught["cycle"] = smi.cycle
+                caught["received"] = ch.elements_received
+            smi.store("caught", dict(caught))
+
+        prog.add_kernel(s0, rank=0, ops=[OpDecl("send", 0, SMI_FLOAT)])
+        prog.add_kernel(s1, rank=1, ops=[OpDecl("send", 0, SMI_FLOAT)])
+        prog.add_kernel(rcv, rank=2, ops=[OpDecl("recv", 0, SMI_FLOAT)])
+        res = prog.run(max_cycles=1_000_000)
+        assert res.completed, res.reason
+        return res
+
+    ref = build(_cfg(False))
+    fast = build(_cfg(True))
+    assert ref.store(2, "caught")["cycle"] > 0
+    assert fast.store(2, "caught") == ref.store(2, "caught")
+
+
+# ----------------------------------------------------------------------
+# Raw FIFO burst helpers
+# ----------------------------------------------------------------------
+def test_fifo_push_pop_burst_equivalence():
+    """``push_burst``/``pop_burst`` match ``push_many``/``pop_many``
+    cycle-for-cycle (the raw-FIFO burst API used outside the transport)."""
+    from repro.simulation import Engine
+
+    def run(burst):
+        eng = Engine()
+        f = eng.fifo("f", capacity=6, latency=2)
+        marks = {}
+
+        def producer():
+            if burst:
+                yield from f.push_burst(range(40))
+            else:
+                yield from f.push_many(range(40))
+            marks["push_end"] = eng.cycle
+
+        def consumer():
+            if burst:
+                out = yield from f.pop_burst(40)
+            else:
+                out = yield from f.pop_many(40)
+            marks["pop_end"] = eng.cycle
+            marks["out"] = out
+
+        eng.spawn(producer(), "producer")
+        eng.spawn(consumer(), "consumer")
+        res = eng.run(max_cycles=10_000)
+        assert res.completed
+        return marks, (f.pushes, f.pops)
+
+    ref, ref_stats = run(False)
+    fast, fast_stats = run(True)
+    assert fast["push_end"] == ref["push_end"]
+    assert fast["pop_end"] == ref["pop_end"]
+    assert fast["out"] == ref["out"] == list(range(40))
+    assert fast_stats == ref_stats
+
+
+# ----------------------------------------------------------------------
+# Flow-liveness analysis
+# ----------------------------------------------------------------------
+def test_flow_dead_marking_and_tripwire():
+    """With one declared flow, off-route transit FIFOs are provably dead;
+    staging into one trips the guard instead of silently diverging."""
+    from repro.core.errors import SimulationError
+
+    prog = SMIProgram(noctua_bus(), config=_cfg(True))
+    seen = {}
+
+    def snd(smi):
+        ch = smi.open_send_channel(8, SMI_FLOAT, 2, 0)
+        yield from ch.push_vec(np.zeros(8, dtype=np.float32), width=8)
+        seen["fifos"] = {
+            f.name: f.flow_dead for f in smi.engine.fifos
+        }
+
+    def rcv(smi):
+        ch = smi.open_recv_channel(8, SMI_FLOAT, 0, 0)
+        yield from ch.pop_vec(8, width=8)
+        # The tripwire: a flow-dead FIFO refuses stage().
+        dead = [f for f in smi.engine.fifos if f.flow_dead]
+        assert dead, "expected some flow-dead transit FIFOs"
+        with pytest.raises(SimulationError, match="flow-dead"):
+            dead[0].stage(object())
+
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_FLOAT)])
+    prog.add_kernel(rcv, rank=2, ops=[OpDecl("recv", 0, SMI_FLOAT)])
+    res = prog.run(max_cycles=1_000_000)
+    assert res.completed, res.reason
+    # The backward direction of the bus carries no declared flow.
+    dead_names = [name for name, d in seen["fifos"].items() if d]
+    assert any("ckr" in name and "cks" in name for name in dead_names)
+
+
+def test_wrong_peer_rejected_at_channel_open():
+    """A channel contradicting a declared static peer fails fast with an
+    actionable error instead of tripping the flow-dead guard mid-run."""
+    from repro.core.errors import ChannelError
+
+    prog = SMIProgram(bus(3), config=_cfg(True))
+    caught = {}
+
+    def snd(smi):
+        try:
+            smi.open_send_channel(8, SMI_FLOAT, 1, 0)
+        except ChannelError as e:
+            caught["msg"] = str(e)
+        return
+        yield  # pragma: no cover
+
+    def rcv(smi):
+        return
+        yield  # pragma: no cover
+
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_FLOAT, peer=2)])
+    prog.add_kernel(rcv, rank=1, ops=[OpDecl("recv", 0, SMI_FLOAT)])
+    res = prog.run(max_cycles=1000)
+    assert res.completed
+    assert "peer=2" in caught["msg"]
+
+
+def test_out_of_topology_peer_rejected_at_build():
+    from repro.core.errors import CodegenError
+
+    prog = SMIProgram(bus(2), config=_cfg(True))
+
+    def kernel(smi):
+        return
+        yield  # pragma: no cover
+
+    prog.add_kernel(kernel, rank=0,
+                    ops=[OpDecl("send", 0, SMI_FLOAT, peer=200)])
+    with pytest.raises(CodegenError, match="peer 200 does not exist"):
+        prog.run(max_cycles=1000)
+
+
+def test_flow_liveness_disabled_without_burst_mode():
+    prog = SMIProgram(bus(2), config=_cfg(False))
+
+    def snd(smi):
+        ch = smi.open_send_channel(4, SMI_INT, 1, 0)
+        for i in range(4):
+            yield from smi.push(ch, i)
+
+    def rcv(smi):
+        ch = smi.open_recv_channel(4, SMI_INT, 0, 0)
+        for _ in range(4):
+            yield from smi.pop(ch)
+        assert not any(f.flow_dead for f in smi.engine.fifos)
+
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_INT)])
+    prog.add_kernel(rcv, rank=1, ops=[OpDecl("recv", 0, SMI_INT)])
+    res = prog.run(max_cycles=1_000_000)
+    assert res.completed, res.reason
