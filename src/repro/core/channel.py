@@ -35,6 +35,14 @@ class SendChannel:
     runs of packets are packed and staged in one engine event with the
     exact cycles the per-element handshake would have used (see
     :mod:`repro.simulation.fifo`). Cycle counts are identical either way.
+
+    The burst path is also the channel's side of the supply-schedule
+    contract (:mod:`repro.transport.planner`): every early-staged run is a
+    ``(cycle, count)`` commitment the CKS window planner consumes via
+    ``present_schedule``, and while the sender then sleeps off the
+    committed run, the engine's process floor bounds its endpoint's
+    unknown future — which is what lets downstream plans extend across
+    the send-side gaps.
     """
 
     def __init__(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from ..simulation.conditions import TICK
+from ..simulation.conditions import TICK, WaitCycles
 from ..simulation.fifo import Fifo
 from ..transport.collectives import CollectiveDescriptor
 from .comm import SMIComm
@@ -51,6 +51,7 @@ class CollectiveChannel:
         app_in: Fifo,
         app_out: Fifo,
         reduce_op: SMIOp | None = None,
+        burst_mode: bool = True,
     ) -> None:
         if count < 0:
             raise ChannelError(f"collective count must be >= 0: {count}")
@@ -63,6 +64,7 @@ class CollectiveChannel:
         self.app_in = app_in
         self.app_out = app_out
         self.reduce_op = reduce_op
+        self._burst = burst_mode
         self._pushed = 0
         self._popped = 0
         descriptor = CollectiveDescriptor(
@@ -93,6 +95,63 @@ class CollectiveChannel:
         value = self.app_out.take()
         yield TICK
         return value
+
+    def _stream_interleave_burst(self, values, want: int) -> Generator:
+        """Burst-mode root interleave: per-flit-identical cycles.
+
+        The app-side supply contract for a collective root: runs of
+        elements are *committed early* into ``app_in`` (publishing their
+        exact cycles for the support kernel and, transitively, the burst
+        planner), and every element already committed to ``app_out`` is
+        drained against its known visibility schedule. Batching is only
+        sound where the per-flit interleave's next decision is provable:
+
+        * while ``app_in`` has free slots, the push-priority loop pushes
+          one element per cycle regardless of what the support kernel
+          does (its takes only *add* space), so a whole free-space run
+          commits in one event;
+        * at the full boundary, whether the next cycle pushes or pops
+          depends on the support kernel's unknowable take timing, so the
+          loop falls back to literal single steps;
+        * once everything is pushed, pops follow the known visibility
+          schedule of ``app_out`` (FIFO order: nothing can overtake it),
+          so every present element drains in one event.
+        """
+        app_in = self.app_in
+        app_out = self.app_out
+        engine = app_in.engine
+        total = len(values)
+        pushed = 0
+        out: list = []
+        while pushed < total or len(out) < want:
+            if pushed < total:
+                free = min(app_in.free_space, total - pushed)
+                if free > 0:
+                    now = engine.cycle
+                    app_in.stage_burst(values[pushed:pushed + free],
+                                       range(now, now + free))
+                    pushed += free
+                    self._pushed += free
+                    yield WaitCycles(free)
+                    continue
+                # Full: the per-flit loop would pop if it can, else block.
+                if want > len(out) and app_out.readable:
+                    out.append(app_out.take())
+                    self._popped += 1
+                    yield TICK
+                    continue
+                conds = [app_in.can_push]
+                if want > len(out):
+                    conds.append(app_out.can_pop)
+                yield tuple(conds)
+                continue
+            # Pure drain phase: every element already committed drains
+            # against its known visibility schedule (Fifo.pop_burst is
+            # exactly the per-flit pop loop, batched).
+            rest = yield from app_out.pop_burst(want - len(out))
+            out.extend(rest)
+            self._popped += len(rest)
+        return out
 
 
 class BcastChannel(CollectiveChannel):
@@ -163,6 +222,10 @@ class ScatterChannel(CollectiveChannel):
                 f"scatter root must provide count*P = {total} elements, "
                 f"got {len(values)}"
             )
+        if self._burst:
+            mine = yield from self._stream_interleave_burst(
+                values, self.count)
+            return mine
         mine: list = []
         pushed = 0
         while pushed < total or len(mine) < self.count:
@@ -230,6 +293,9 @@ class GatherChannel(CollectiveChannel):
                 f"elements, got {len(my_values)}"
             )
         total = self.count * self.comm.size
+        if self._burst:
+            out = yield from self._stream_interleave_burst(my_values, total)
+            return out
         out: list = []
         pushed = 0
         while pushed < self.count or len(out) < total:

@@ -41,6 +41,24 @@ class SweepPoint:
     source: str        # "sim" | "model" | "host-model"
 
 
+def _snapshot_planner_stats(transport, out: dict | None) -> None:
+    """Fill ``out`` with aggregate burst-planner counters (if asked)."""
+    if out is None:
+        return
+    from ..simulation.stats import collect_planner_stats
+
+    stats = collect_planner_stats(transport)
+    out.update(
+        attempts=stats.attempts,
+        windows=stats.windows,
+        extensions=stats.extensions,
+        coplans=stats.coplans,
+        takes=stats.takes,
+        hit_rate=round(stats.hit_rate, 4),
+        mean_window=round(stats.mean_window, 2),
+    )
+
+
 def measure_stream_sim(
     n_elements: int,
     hops: int,
@@ -48,8 +66,14 @@ def measure_stream_sim(
     config: HardwareConfig = NOCTUA,
     topology: Topology | None = None,
     app_width: int = 8,
+    planner_stats: dict | None = None,
 ) -> int:
-    """Cycle-simulate one stream; returns elapsed cycles at the receiver."""
+    """Cycle-simulate one stream; returns elapsed cycles at the receiver.
+
+    ``planner_stats`` (optional dict) receives the run's aggregate burst
+    planner counters — window hit rate, mean committed window length,
+    cascade co-plans — for the perf-trajectory reports.
+    """
     topology = topology or noctua_bus()
     prog = SMIProgram(topology, config=config)
     marks: dict[str, int] = {}
@@ -68,6 +92,7 @@ def measure_stream_sim(
     prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, dtype, peer=0)])
     res = prog.run(max_cycles=500_000_000)
     assert res.completed, res.reason
+    _snapshot_planner_stats(res.transport, planner_stats)
     return marks["end"]
 
 
@@ -164,6 +189,7 @@ def measure_injection_cycles(read_burst: int, packets: int = 400,
 def measure_bcast_sim_us(
     n: int, topology: Topology, num_ranks: int,
     config: HardwareConfig = NOCTUA,
+    planner_stats: dict | None = None,
 ) -> float:
     prog = SMIProgram(topology, config=config)
     comm_members = list(range(num_ranks))
@@ -183,12 +209,14 @@ def measure_bcast_sim_us(
     prog.add_kernel(kernel, ranks="all", ops=[OpDecl("bcast", 0, SMI_FLOAT)])
     res = prog.run(max_cycles=500_000_000)
     assert res.completed, res.reason
+    _snapshot_planner_stats(res.transport, planner_stats)
     return config.cycles_to_us(max(marks.values()))
 
 
 def measure_reduce_sim_us(
     n: int, topology: Topology, num_ranks: int,
     config: HardwareConfig = NOCTUA,
+    planner_stats: dict | None = None,
 ) -> float:
     prog = SMIProgram(topology, config=config)
     comm_members = list(range(num_ranks))
@@ -213,6 +241,7 @@ def measure_reduce_sim_us(
                     ops=[OpDecl("reduce", 0, SMI_FLOAT, reduce_op=SMI_ADD)])
     res = prog.run(max_cycles=500_000_000)
     assert res.completed, res.reason
+    _snapshot_planner_stats(res.transport, planner_stats)
     return config.cycles_to_us(max(marks.values()))
 
 

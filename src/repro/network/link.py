@@ -82,6 +82,20 @@ class Link:
     def wait_readable(self):
         return self.fifo.can_pop
 
+    # -- supply-schedule contract (delegated to the backing FIFO) --------
+    def register_producer(self, proc) -> None:
+        """Register the CKS that owns this link as the line's only writer.
+
+        This is what lets a downstream CKR's planner derive producer-sleep
+        horizons *through the wire*: with the sending CKS parked or asleep
+        until cycle T, nothing new can be visible at the far end before
+        ``T + latency`` — a horizon the full link latency makes very deep.
+        """
+        self.fifo.register_producer(proc)
+
+    def supply_horizon(self, memo: dict | None = None) -> int:
+        return self.fifo.supply_horizon(memo)
+
     def _check_wire(self, packet: Packet) -> None:
         wire = packet.encode()
         check = Packet.decode(wire, packet.dtype)
@@ -105,7 +119,8 @@ class Link:
         self.packets += 1
         self.payload_bytes += packet.payload_bytes
 
-    def stage_burst(self, packets: list[Packet], cycles: list[int]) -> None:
+    def stage_burst(self, packets: list[Packet], cycles: list[int],
+                    verify_occupancy: bool = True) -> None:
         """Transmit a run of packets as if staged one per ``cycles[i]``.
 
         The caller (a CKS burst drain) has already paced ``cycles`` at
@@ -123,7 +138,7 @@ class Link:
         if self.validate:
             for packet in packets:
                 self._check_wire(packet)
-        self.fifo.stage_burst(packets, cycles)
+        self.fifo.stage_burst(packets, cycles, verify_occupancy)
         self._next_free = cycles[-1] + self.cycles_per_packet
         self.packets += len(packets)
         self.payload_bytes += sum(p.payload_bytes for p in packets)

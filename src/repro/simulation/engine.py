@@ -16,17 +16,21 @@ Burst timing: the burst fast path (gated by ``HardwareConfig.burst_mode``)
 moves whole runs of items in a single process step and then yields one
 ``WaitCycles(window)`` instead of per-item TICKs. Two layers cooperate:
 the FIFO primitives (:mod:`repro.simulation.fifo`) stage/take runs with
-analytically computed per-item cycles, and the CK window planner
-(:func:`repro.transport.ck._plan_window`) simulates the polling loop
-forward over the *known* future — staged schedules, statically flow-dead
-inputs, downstream slot schedules — committing multi-round windows per
-event. The engine needs no special support: staged items commit at their
-individual ready cycles through the ordinary commit calendar, and slots
-freed ahead of schedule are held *reserved* and released (waking blocked
-producers) by the same mechanism — so burst and per-flit runs produce
-identical cycle counts and identical per-FIFO push/pop statistics,
-differing only in the number of engine events executed
-(``tests/test_burst_equivalence.py`` enforces this).
+analytically computed per-item cycles, and the supply-schedule planner
+(:mod:`repro.transport.planner`) simulates the polling loop forward over
+the *known* future — staged schedules, statically flow-dead inputs,
+downstream slot schedules, producer-sleep horizons — committing
+multi-round windows per event and cascading plans across CK boundaries.
+The engine contributes two queries: :meth:`Engine.process_floor` (the
+earliest cycle a process could run again, the basis of producer-sleep
+horizons) and :meth:`Engine.preempt` (a firm wake for a parked CK whose
+window a peer's cascade planned on its behalf). Staged items commit at
+their individual ready cycles through the ordinary commit calendar, and
+slots freed ahead of schedule are held *reserved* and released (waking
+blocked producers) by the same mechanism — so burst and per-flit runs
+produce identical cycle counts and identical per-FIFO push/pop
+statistics and occupancy peaks, differing only in the number of engine
+events executed (``tests/test_burst_equivalence.py`` enforces this).
 
 Termination: ``run()`` returns once every non-daemon process has finished.
 Transport kernels (CKS/CKR, collective support kernels) are spawned as
@@ -50,6 +54,10 @@ from .conditions import TICK, CanPop, CanPush, SimEvent, WaitCycles
 #: Safety bound on process steps within a single cycle (combinational loop).
 MAX_STEPS_PER_CYCLE = 10_000
 
+#: "Provably never" horizon for supply-schedule queries (finished
+#: producers, flow-dead FIFOs).
+FOREVER = 1 << 62
+
 
 class Process:
     """A running simulated module (wraps a generator)."""
@@ -65,6 +73,7 @@ class Process:
         "_last_step_cycle",
         "_steps_this_cycle",
         "_waiting_on",
+        "_scheduled_for",
     )
 
     def __init__(self, name: str, gen: Generator, daemon: bool) -> None:
@@ -78,6 +87,7 @@ class Process:
         self._last_step_cycle = -1
         self._steps_this_cycle = 0
         self._waiting_on: Any = None
+        self._scheduled_for = 0
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         state = "finished" if self.finished else f"waiting on {self._waiting_on!r}"
@@ -110,6 +120,7 @@ class Engine:
         self._processes: list[Process] = []
         self._fifos: list = []
         self._live_workers = 0
+        self._current_proc: Process | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -150,6 +161,7 @@ class Engine:
     # ------------------------------------------------------------------
     def _schedule(self, proc: Process, cycle: int) -> None:
         proc._token += 1
+        proc._scheduled_for = cycle
         self._seq += 1
         heapq.heappush(self._proc_heap, (cycle, self._seq, proc, proc._token))
 
@@ -183,6 +195,82 @@ class Engine:
 
     def _register_fifo(self, fifo) -> None:
         self._fifos.append(fifo)
+
+    # ------------------------------------------------------------------
+    # Supply-schedule queries (burst planner support)
+    # ------------------------------------------------------------------
+    #: Recursion budget for parked-producer chains in :meth:`process_floor`.
+    #: Deeper chains add little: the first link latency on a path already
+    #: dominates the horizon, and every truncation is merely conservative.
+    FLOOR_DEPTH_LIMIT = 3
+
+    def process_floor(self, proc: Process, memo: dict | None = None,
+                      depth: int = 0) -> int:
+        """Earliest cycle ``proc`` could possibly execute again.
+
+        The *producer-sleep horizon* primitive of the supply-schedule
+        contract: a process sleeping on ``WaitCycles`` until cycle T
+        cannot be woken by anything (wakes only reach condition waiters),
+        so it provably stages nothing before T. A process parked on
+        ``CanPop`` conditions cannot run before one of those FIFOs turns
+        readable, which recurses into each FIFO's own supply schedule
+        (:meth:`repro.simulation.fifo.Fifo.earliest_readable`); cyclic
+        producer/consumer chains and over-deep recursions fall back to the
+        conservative "now". The result is a lower bound that only moves
+        later as the event executes, so memoised values stay sound for a
+        whole planning cascade.
+        """
+        if proc.finished:
+            return FOREVER
+        key = id(proc)
+        if memo is not None:
+            # Checked before the running/sleeping shortcut on purpose: a
+            # planner seeds its *own* process here ("provably silent up to
+            # the plan cursor") to break the self-referential loop through
+            # its paired kernel, even though the process is mid-step.
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+        waiting = proc._waiting_on
+        if waiting is None:
+            # Running this very cycle, or sleeping with a firm deadline.
+            floor = proc._scheduled_for
+            return floor if floor > self.cycle else self.cycle
+        if depth >= self.FLOOR_DEPTH_LIMIT:
+            return self.cycle
+        if memo is None:
+            memo = {}
+        # Break producer/consumer cycles at the conservative bound; the
+        # final value below can only be later.
+        memo[key] = self.cycle
+        if type(waiting) not in (tuple, list):
+            waiting = (waiting,)
+        floor = FOREVER
+        for cond in waiting:
+            if type(cond) is CanPop:
+                ready = cond.fifo.earliest_readable(memo, depth + 1)
+            else:
+                # CanPush / events: a slot may free (or the event fire)
+                # any time another process runs.
+                ready = self.cycle
+            if ready < floor:
+                floor = ready
+                if floor <= self.cycle:
+                    break
+        memo[key] = floor
+        return floor
+
+    def preempt(self, proc: Process, cycle: int) -> None:
+        """Reschedule a blocked process to run at ``cycle`` (>= now).
+
+        Used by the cascade planner after it has planned a parked CK's
+        window on its behalf: the conditions the process waited on may
+        never fire now that the planned takes emptied its inputs, so the
+        planner hands it a firm wake instead. Bumping the token
+        invalidates the stale waiter entries left in condition lists.
+        """
+        proc._waiting_on = None
+        self._schedule(proc, max(cycle, self.cycle))
 
     # ------------------------------------------------------------------
     # Condition dispatch
@@ -243,6 +331,7 @@ class Engine:
         else:
             proc._last_step_cycle = self.cycle
             proc._steps_this_cycle = 1
+        self._current_proc = proc
         try:
             cond = proc.gen.send(None)
         except StopIteration as stop:
@@ -258,6 +347,8 @@ class Engine:
                 f"{self.cycle})"
             )
             raise
+        finally:
+            self._current_proc = None
         self._dispatch(proc, cond)
 
     # ------------------------------------------------------------------

@@ -32,10 +32,25 @@ engine event while reproducing the per-flit cycle trajectory exactly:
   identical ``writable`` trajectory and wake at the identical cycles.
 
 ``pushes``/``pops`` count every item individually in both modes and are
-burst-invariant. ``max_occupancy`` is exact in per-flit mode and a
-conservative (never lower than true, bounded by capacity) estimate in burst
-mode: a producer's committed window cannot subtract consumer takes that
-commit later in wall time but land earlier in simulated time.
+burst-invariant. ``max_occupancy`` is exact in both modes: every stage and
+take logs a ``(cycle, +/-1)`` delta at its exact simulated cycle and the
+peak is the maximum end-of-cycle prefix sum, so the statistic depends only
+on the per-item cycle trajectory (which burst mode reproduces exactly),
+not on the wall-time order commits happen to execute in.
+
+Supply schedules
+----------------
+
+A FIFO is also the ledger of the *supply-schedule contract* consumed by
+the burst planner (:mod:`repro.transport.planner`): any flit source — an
+app channel's vectorised push, a CK's planned forward, a collective
+support kernel, a link — publishes its commitments simply by staging
+early with exact future cycles, and :meth:`present_schedule` exposes them.
+Beyond the staged items, :meth:`supply_horizon` bounds the *unknown*
+future: with a registered (closed) producer set, no arrival can become
+visible before the earliest producer wake plus the FIFO latency
+(producer-sleep horizons); without one, the bound degrades to
+``now + latency``; flow-dead FIFOs are empty forever.
 
 Both sides assume the single-producer / single-consumer wiring the SMI
 transport uses everywhere: per-item cycles are computed under the invariant
@@ -52,7 +67,12 @@ from typing import Any, Generator, Iterable, Iterator, Sequence
 
 from ..core.errors import SimulationError
 from .conditions import TICK, CanPop, CanPush, WaitCycles
+from .engine import FOREVER
 from .stats import BurstStats
+
+#: Fold the occupancy delta log into (base, peak) once it grows past this
+#: many events, so long-running kernels carry O(1) state.
+_OCC_FOLD_LIMIT = 8192
 
 
 class Fifo:
@@ -79,15 +99,21 @@ class Fifo:
         "_visible",
         "_staged",
         "_reserved",
+        "_reserved_paired",
         "can_pop",
         "can_push",
         "pushes",
         "pops",
-        "max_occupancy",
+        "_occ_stages",
+        "_occ_takes",
+        "_occ_base",
+        "_occ_peak",
         "first_push_cycle",
         "last_pop_cycle",
         "burst_stats",
-        "flow_dead",
+        "_flow_dead",
+        "producers",
+        "_stage_guard",
     )
 
     def __init__(self, engine, name: str, capacity: int, latency: int = 1) -> None:
@@ -104,12 +130,26 @@ class Fifo:
         # Slots taken ahead of schedule by a burst consumer, held occupied
         # until their per-flit take cycle (non-decreasing release cycles).
         self._reserved: deque = deque()
+        # How many leading reserved entries a producer's committed plan has
+        # already paired a future stage against. A cascade can commit a
+        # stage at ``release + 1`` long before the wall clock reaches the
+        # release, and the *next* plan must not hand the same slot out
+        # twice; the pairing count survives across engine events and drains
+        # together with the releases it covers.
+        self._reserved_paired = 0
         self.can_pop = CanPop(self)
         self.can_push = CanPush(self)
         # --- statistics ---
         self.pushes = 0
         self.pops = 0
-        self.max_occupancy = 0
+        # Exact occupancy tracking: a time-indexed delta log, kept as two
+        # *sorted* cycle lists (stages and takes are each monotone per
+        # FIFO — single producer, single consumer) and folded lazily into
+        # (base, peak) with a linear merge, no sorting.
+        self._occ_stages: list[int] = []
+        self._occ_takes: list[int] = []
+        self._occ_base = 0
+        self._occ_peak = 0
         self.first_push_cycle: int | None = None
         self.last_pop_cycle: int | None = None
         self.burst_stats = BurstStats()
@@ -117,8 +157,26 @@ class Fifo:
         # declared communication flow can ever route a packet through this
         # FIFO, so a burst planner may treat it as empty at any future cycle.
         # Guarded by a stage-time tripwire rather than trusted silently.
-        self.flow_dead = False
+        self._flow_dead = False
+        # Closed producer set (supply-schedule contract): None means the
+        # writers of this FIFO are unknown (app endpoints); a tuple of
+        # Process handles means *only* those processes ever stage here, so
+        # the burst planner may derive producer-sleep horizons from their
+        # wake floors. Guarded by a stage-time tripwire like flow_dead.
+        self.producers: tuple | None = None
+        # One combined flag so the per-stage hot path pays a single branch
+        # for both tripwires (kept in sync by the property/registration).
+        self._stage_guard = False
         engine._register_fifo(self)
+
+    @property
+    def flow_dead(self) -> bool:
+        return self._flow_dead
+
+    @flow_dead.setter
+    def flow_dead(self, value: bool) -> None:
+        self._flow_dead = value
+        self._stage_guard = value or self.producers is not None
 
     # ------------------------------------------------------------------
     # Combinational status (as seen by processes in the current cycle)
@@ -138,27 +196,40 @@ class Fifo:
         staged = self._staged
         return bool(staged) and staged[0][0] <= self.engine.cycle
 
+    def _trim_reserved(self, now: int) -> None:
+        """Drop reserved entries whose release cycle has arrived, keeping
+        the paired-prefix count aligned (paired entries are the oldest)."""
+        reserved = self._reserved
+        if reserved and reserved[0] <= now:
+            paired = self._reserved_paired
+            while reserved and reserved[0] <= now:
+                reserved.popleft()
+                if paired:
+                    paired -= 1
+            self._reserved_paired = paired
+
     @property
     def writable(self) -> bool:
         """True if there is room for one more item."""
-        reserved = self._reserved
-        if reserved:
-            now = self.engine.cycle
-            while reserved and reserved[0] <= now:
-                reserved.popleft()
-            return (len(self._visible) + len(self._staged) + len(reserved)
-                    < self.capacity)
-        return len(self._visible) + len(self._staged) < self.capacity
+        if self._reserved:
+            self._trim_reserved(self.engine.cycle)
+        return (len(self._visible) + len(self._staged) + len(self._reserved)
+                < self.capacity)
 
     @property
     def occupancy(self) -> int:
-        """Slots in use: items in flight plus reserved (burst-held) slots."""
-        reserved = self._reserved
-        if reserved:
-            now = self.engine.cycle
-            while reserved and reserved[0] <= now:
-                reserved.popleft()
-        return len(self._visible) + len(self._staged) + len(reserved)
+        """Slots in use: items in flight plus reserved (burst-held) slots.
+
+        Exact whenever the observer can act on it: future-dated committed
+        stages (a cascade's early commits) are counted as occupying even
+        before their stage cycle, but such stages only exist while their
+        single producer sleeps the committed window — by the time that
+        producer (the only process gated by this number) observes again,
+        every one of its stages is past-dated.
+        """
+        if self._reserved:
+            self._trim_reserved(self.engine.cycle)
+        return len(self._visible) + len(self._staged) + len(self._reserved)
 
     def _promote(self) -> None:
         """Move staged items whose ready cycle has arrived into view."""
@@ -183,12 +254,20 @@ class Fifo:
         slots against these: slot ``free + j`` becomes stageable at
         ``releases[j] + 1`` — the cycle a producer blocked on ``can_push``
         would wake and stage in the per-flit path.
+
+        Releases a committed plan already paired a future stage against
+        are excluded (and their double-counted slot — the reservation plus
+        the future-dated staged item — added back), so successive plans of
+        one producer see a consistent budget no matter how far ahead of
+        the wall clock earlier windows committed.
         """
+        self._trim_reserved(now)
         reserved = self._reserved
-        while reserved and reserved[0] <= now:
-            reserved.popleft()
+        paired = self._reserved_paired
         free = (self.capacity - len(self._visible) - len(self._staged)
-                - len(reserved))
+                - len(reserved) + paired)
+        if paired:
+            return free, list(islice(reserved, paired, None))
         return free, list(reserved)
 
     @property
@@ -219,6 +298,23 @@ class Fifo:
             "the builder's flow-liveness analysis missed a route"
         )
 
+    def _reject_foreign_producer(self, proc) -> None:
+        raise SimulationError(
+            f"fifo {self.name!r}: staged by process {proc.name!r} which is "
+            "not in the registered producer set — the supply-schedule "
+            "contract assumed a closed set of writers, so planner horizons "
+            "derived from it would silently diverge"
+        )
+
+    def _check_stage_allowed(self) -> None:
+        if self._flow_dead:
+            self._reject_flow_dead()
+        producers = self.producers
+        if producers is not None:
+            cur = self.engine._current_proc
+            if cur is not None and cur not in producers:
+                self._reject_foreign_producer(cur)
+
     def stage(self, item: Any) -> None:
         """Stage one item this cycle; it becomes visible ``latency`` later.
 
@@ -227,18 +323,19 @@ class Fifo:
         """
         if not self.writable:
             raise SimulationError(f"fifo {self.name!r}: stage() while full")
-        if self.flow_dead:
-            self._reject_flow_dead()
-        ready = self.engine.cycle + self.latency
+        if self._stage_guard:
+            self._check_stage_allowed()
+        now = self.engine.cycle
+        ready = now + self.latency
         self._staged.append((ready, item))
         if self.can_pop.waiters:
             self.engine._schedule_commit(self._staged[0][0], self)
         self.pushes += 1
         if self.first_push_cycle is None:
-            self.first_push_cycle = self.engine.cycle
-        occ = self.occupancy
-        if occ > self.max_occupancy:
-            self.max_occupancy = occ
+            self.first_push_cycle = now
+        self._occ_stages.append(now)
+        if len(self._occ_stages) > _OCC_FOLD_LIMIT:
+            self._occ_fold()
 
     def take(self) -> Any:
         """Remove and return the oldest visible item (must be readable)."""
@@ -248,7 +345,11 @@ class Fifo:
             raise SimulationError(f"fifo {self.name!r}: take() while empty")
         item = self._visible.popleft()
         self.pops += 1
-        self.last_pop_cycle = self.engine.cycle
+        now = self.engine.cycle
+        self.last_pop_cycle = now
+        self._occ_takes.append(now)
+        if len(self._occ_takes) > _OCC_FOLD_LIMIT:
+            self._occ_fold()
         # Space freed: wake any blocked producers (registered flag -> next
         # cycle, handled by the engine's wake scheduling).
         if self.can_push.waiters:
@@ -291,6 +392,8 @@ class Fifo:
         """
         visible = self._visible
         nv = len(visible)
+        if not nv and not self._staged:
+            return (), ()
         if limit and nv >= limit:
             return list(islice(visible, limit)), [now] * limit
         items = list(visible)
@@ -303,7 +406,8 @@ class Fifo:
             ready.append(r)
         return items, ready
 
-    def stage_burst(self, items: Sequence[Any], cycles: Sequence[int]) -> None:
+    def stage_burst(self, items: Sequence[Any], cycles: Sequence[int],
+                    verify_occupancy: bool = True) -> None:
         """Stage ``items[i]`` as if at ``cycles[i]`` (visible ``latency``
         later), all within the current engine event.
 
@@ -311,6 +415,12 @@ class Fifo:
         cycle; the caller must have checked ``free_space >= len(items)``
         (the per-flit path would not have staged a run it cannot fit — a
         burst that overcommits is a planner bug and raises).
+        ``verify_occupancy=False`` skips the per-item occupancy-trajectory
+        tripwire: the window planner paces every stage against
+        :meth:`slot_plan`'s release schedule (with persistent pairing
+        bookkeeping), and re-walking the trajectory on its long
+        reserved/paired lists every commit would dominate the fast path
+        the planner exists to provide.
         """
         k = len(items)
         if k == 0:
@@ -325,8 +435,8 @@ class Fifo:
                 f"fifo {self.name!r}: stage_burst cycle {cycles[0]} is in "
                 f"the past (now {now})"
             )
-        if self.flow_dead:
-            self._reject_flow_dead()
+        if self._stage_guard:
+            self._check_stage_allowed()
         staged = self._staged
         latency = self.latency
         prev = cycles[0]
@@ -338,20 +448,18 @@ class Fifo:
         n_res = len(reserved)
         base = len(self._visible) + len(staged)
         capacity = self.capacity
-        if n_res == 0 and base + k <= capacity:
-            # Fast path: no reserved slots and the whole run fits — the
-            # occupancy trajectory is simply base+1 .. base+k, and the
+        if (n_res == 0 and base + k <= capacity) or not verify_occupancy:
+            # Fast path: no reserved slots and the whole run fits (or the
+            # caller is the planner, which already paced each stage) — the
             # monotonicity check runs at C speed over cycle pairs.
             if k > 1 and any(map(gt, cycles, islice(cycles, 1, None))):
                 raise SimulationError(
                     f"fifo {self.name!r}: stage_burst cycles not monotone"
                 )
             staged.extend(zip([cyc + latency for cyc in cycles], items))
-            if base + k > self.max_occupancy:
-                self.max_occupancy = base + k
         else:
             res_idx = 0
-            peak = self.max_occupancy
+            paired = self._reserved_paired
             for item, cyc in zip(items, cycles):
                 if cyc < prev:
                     raise SimulationError(
@@ -362,15 +470,27 @@ class Fifo:
                 base += 1
                 while res_idx < n_res and reserved[res_idx] <= cyc:
                     res_idx += 1
-                occ = base + (n_res - res_idx)
+                # Pending *paired* reservations back items already counted
+                # in ``base`` (committed future stages), so they net out.
+                occ = base + (n_res - res_idx) - (
+                    paired - res_idx if paired > res_idx else 0
+                )
                 if occ > capacity:
                     raise SimulationError(
                         f"fifo {self.name!r}: stage_burst overcommits at "
                         f"cycle {cyc} ({occ} slots in a {capacity}-deep FIFO)"
                     )
-                if occ > peak:
-                    peak = occ
-            self.max_occupancy = peak
+        occ_stages = self._occ_stages
+        if occ_stages and cycles[0] < occ_stages[-1]:
+            raise SimulationError(
+                f"fifo {self.name!r}: stage_burst at cycle {cycles[0]} "
+                f"behind an already-recorded stage at {occ_stages[-1]} — "
+                "the single-producer monotonicity the occupancy log relies "
+                "on does not hold here"
+            )
+        occ_stages.extend(cycles)
+        if len(occ_stages) > _OCC_FOLD_LIMIT:
+            self._occ_fold()
         if self.can_pop.waiters:
             self.engine._schedule_commit(self._staged[0][0], self)
         self.pushes += k
@@ -419,23 +539,31 @@ class Fifo:
                 raise SimulationError(
                     f"fifo {self.name!r}: take_burst ran out of items"
                 )
-            # Per-item visibility check at C speed: staged item i must be
-            # ready by its take cycle.
-            if any(map(gt, (r for r, _ in islice(staged, rem)),
-                       islice(cycles, nv, None))):
-                for cyc, (ready, _item) in zip(islice(cycles, nv, None),
-                                               staged):
-                    if ready > cyc:
-                        raise SimulationError(
-                            f"fifo {self.name!r}: take_burst at cycle {cyc} "
-                            f"but next item is only visible at {ready}"
-                        )
+            # Visibility check fused into the pop loop: staged item i must
+            # be ready by its take cycle. (The raise aborts the whole
+            # simulation, so the partial mutation before it is moot.)
+            i = nv
             if collect:
                 for _ in range(rem):
-                    out.append(staged.popleft()[1])
+                    ready, item = staged.popleft()
+                    if ready > cycles[i]:
+                        raise SimulationError(
+                            f"fifo {self.name!r}: take_burst at cycle "
+                            f"{cycles[i]} but next item is only visible "
+                            f"at {ready}"
+                        )
+                    out.append(item)
+                    i += 1
             else:
                 for _ in range(rem):
-                    staged.popleft()
+                    ready = staged.popleft()[0]
+                    if ready > cycles[i]:
+                        raise SimulationError(
+                            f"fifo {self.name!r}: take_burst at cycle "
+                            f"{cycles[i]} but next item is only visible "
+                            f"at {ready}"
+                        )
+                    i += 1
         # Slot bookkeeping: takes at the current cycle free their slot
         # immediately (producers wake next cycle, like a plain take());
         # future takes hold the slot *reserved* until their cycle.
@@ -452,9 +580,147 @@ class Fifo:
                 self.engine._schedule_commit(cycles[i0], self)
         self.pops += k
         self.last_pop_cycle = cycles[-1]
+        occ_takes = self._occ_takes
+        if occ_takes and cycles[0] < occ_takes[-1]:
+            raise SimulationError(
+                f"fifo {self.name!r}: take_burst at cycle {cycles[0]} "
+                f"behind an already-recorded take at {occ_takes[-1]} — "
+                "the single-consumer monotonicity the occupancy log relies "
+                "on does not hold here"
+            )
+        occ_takes.extend(cycles)
+        if len(occ_takes) > _OCC_FOLD_LIMIT:
+            self._occ_fold()
         if k > 1:
             self.burst_stats.record(k)
         return out
+
+    # ------------------------------------------------------------------
+    # Exact occupancy accounting (time-indexed delta log)
+    # ------------------------------------------------------------------
+    def _occ_sweep(self, stop: int) -> tuple[int, int, int, int]:
+        """Prefix-sum sweep of both sorted cycle logs over cycles < stop.
+
+        Returns ``(occ, peak, stages_consumed, takes_consumed)``. Events
+        of one cycle net out before the peak check — the registered-FIFO
+        view, where everything on one clock edge commits together.
+        """
+        stages = self._occ_stages
+        takes = self._occ_takes
+        occ = self._occ_base
+        peak = self._occ_peak
+        i = j = 0
+        ns = len(stages)
+        nt = len(takes)
+        while True:
+            s = stages[i] if i < ns else stop
+            t = takes[j] if j < nt else stop
+            cyc = s if s <= t else t
+            if cyc >= stop:
+                break
+            while i < ns and stages[i] == cyc:
+                occ += 1
+                i += 1
+            while j < nt and takes[j] == cyc:
+                occ -= 1
+                j += 1
+            if occ > peak:
+                peak = occ
+        return occ, peak, i, j
+
+    def _occ_fold(self) -> None:
+        """Fold log entries strictly before the current cycle into
+        ``(base, peak)`` — they are final, since every logging path stamps
+        cycles at or after the wall clock."""
+        occ, peak, i, j = self._occ_sweep(self.engine.cycle)
+        self._occ_base = occ
+        self._occ_peak = peak
+        if i:
+            del self._occ_stages[:i]
+        if j:
+            del self._occ_takes[:j]
+
+    @property
+    def max_occupancy(self) -> int:
+        """Exact peak occupancy (items in flight plus reserved slots).
+
+        The maximum *end-of-cycle* prefix sum of the stage/take cycle logs
+        up to the current cycle. Because the logs hold exact per-item
+        cycles in burst and per-flit mode alike, the statistic is
+        burst-invariant (the equivalence suite asserts it) — committed
+        future events beyond the wall clock are excluded until the clock
+        reaches them.
+        """
+        return self._occ_sweep(self.engine.cycle + 1)[1]
+
+    # ------------------------------------------------------------------
+    # Supply-schedule contract (consumed by the burst planner)
+    # ------------------------------------------------------------------
+    def register_producer(self, proc) -> None:
+        """Add ``proc`` to this FIFO's *closed* producer set.
+
+        Registration is a contract: once any producer is registered, only
+        registered processes may stage here (a stage-time tripwire
+        enforces it), which is what makes :meth:`supply_horizon` sound.
+        The transport builder registers the structurally closed sets
+        (CK-to-CK FIFOs, links, receive endpoints, support-kernel
+        outputs); app-written endpoints stay unregistered because kernels
+        may push from helper processes the metadata cannot see.
+        """
+        if proc is None:
+            return
+        if self.producers is None:
+            self.producers = (proc,)
+        elif proc not in self.producers:
+            self.producers = self.producers + (proc,)
+        self._stage_guard = True
+
+    def supply_horizon(self, memo: dict | None = None, depth: int = 0) -> int:
+        """Exclusive cycle below which no *unknown* arrival can be visible.
+
+        The planner's "provably unreadable" bound for a drained input:
+        flow-dead FIFOs never see traffic; a registered producer set
+        yields a producer-sleep horizon (earliest producer wake, via
+        :meth:`Engine.process_floor`, plus this FIFO's latency); unknown
+        writers degrade to ``now + latency`` (a stage this cycle turns
+        visible no earlier than that).
+        """
+        if self._flow_dead:
+            return FOREVER
+        producers = self.producers
+        now = self.engine.cycle
+        if producers is None:
+            return now + self.latency
+        floor = FOREVER
+        engine = self.engine
+        for proc in producers:
+            f = engine.process_floor(proc, memo, depth)
+            if f < floor:
+                floor = f
+                if floor <= now:
+                    break
+        if floor >= FOREVER:
+            return FOREVER
+        return floor + self.latency
+
+    def earliest_readable(self, memo: dict | None = None,
+                          depth: int = 0) -> int:
+        """Lower bound on the next cycle this FIFO can be readable.
+
+        With items present the head's visibility cycle is exact (FIFO
+        order: nothing behind the head can overtake it); drained FIFOs
+        fall back to the supply horizon. Used by
+        :meth:`Engine.process_floor` to bound the wake of a process
+        parked on ``CanPop`` conditions.
+        """
+        now = self.engine.cycle
+        if self._visible:
+            return now
+        staged = self._staged
+        if staged:
+            ready = staged[0][0]
+            return ready if ready > now else now
+        return self.supply_horizon(memo, depth)
 
     # ------------------------------------------------------------------
     # Handshake helpers: one item per cycle, blocking on full/empty.
@@ -576,6 +842,12 @@ class Fifo:
         self._visible.clear()
         self._staged.clear()
         self._reserved.clear()
+        self._reserved_paired = 0
+        if items:
+            takes = self._occ_takes
+            # Keep the log sorted even past already-recorded future takes.
+            cyc = max(self.engine.cycle, takes[-1] if takes else 0)
+            takes.extend([cyc] * len(items))
         return items
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

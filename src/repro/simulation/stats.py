@@ -121,6 +121,35 @@ class GapHistogram:
             raise ValueError("no gaps recorded")
         return max(self.counts)
 
+    def percentile(self, q: float) -> int:
+        """Smallest gap g with at least ``q`` of all gaps <= g (0 < q <= 1).
+
+        Computed from the bounded per-value counters, so percentiles stay
+        available without keeping the raw per-event list around.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"percentile fraction must be in (0, 1]: {q}")
+        total = self.count
+        if not total:
+            raise ValueError("no gaps recorded")
+        need = q * total
+        running = 0
+        for gap in sorted(self.counts):
+            running += self.counts[gap]
+            if running >= need:
+                return gap
+        return max(self.counts)  # pragma: no cover - q <= 1 always returns
+
+    @property
+    def p50(self) -> int:
+        """Median inter-event gap."""
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> int:
+        """99th-percentile inter-event gap."""
+        return self.percentile(0.99)
+
 
 @dataclass
 class BurstStats:
@@ -147,4 +176,54 @@ def collect_burst_stats(engine) -> BurstStats:
     for fifo in engine.fifos:
         total.bursts += fifo.burst_stats.bursts
         total.items += fifo.burst_stats.items
+    return total
+
+
+@dataclass
+class PlannerStats:
+    """Counters for one CK's burst window planner (supply-schedule plane).
+
+    ``attempts``/``windows`` count planning tried/committed from the CK's
+    own engine events; ``extensions`` are cascade re-plans that stretched
+    an already-committed window (same engine event, new supply); and
+    ``coplans`` are windows planned *for* this CK by a peer CK's cascade
+    while this CK was parked or sleeping. ``window_cycles``/``takes``
+    cover every committed window regardless of who planned it.
+    """
+
+    attempts: int = 0
+    windows: int = 0
+    window_cycles: int = 0
+    takes: int = 0
+    extensions: int = 0
+    coplans: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Committed windows per planning attempt (own events only)."""
+        return self.windows / self.attempts if self.attempts else 0.0
+
+    @property
+    def mean_window(self) -> float:
+        """Mean committed window length in cycles."""
+        committed = self.windows + self.extensions + self.coplans
+        return self.window_cycles / committed if committed else 0.0
+
+    def merge(self, other: "PlannerStats") -> "PlannerStats":
+        return PlannerStats(
+            self.attempts + other.attempts,
+            self.windows + other.windows,
+            self.window_cycles + other.window_cycles,
+            self.takes + other.takes,
+            self.extensions + other.extensions,
+            self.coplans + other.coplans,
+        )
+
+
+def collect_planner_stats(transport) -> PlannerStats:
+    """Aggregate planner counters over every CK of a built transport."""
+    total = PlannerStats()
+    for rt in transport.ranks.values():
+        for ck in list(rt.cks.values()) + list(rt.ckr.values()):
+            total = total.merge(ck.arbiter.planner_stats)
     return total

@@ -16,6 +16,13 @@ The arbiter below reproduces that behaviour cycle-by-cycle:
   condition instead of burning idle cycles; on wake-up it charges exactly the
   number of scan cycles the hardware pointer would have spent reaching the
   readable input, so the timing is identical to literal polling.
+
+In burst mode the loop's full resume state lives on the arbiter object
+(``_idx``, ``_resume_reads``, ``_plan_until``, ``_resume_state``) rather
+than in generator locals, so the supply-schedule planner
+(:mod:`repro.transport.planner`) can plan windows for this kernel from a
+*peer's* engine event — extending a sleeping kernel's window, or waking a
+parked one with its next window already committed (``_coplanned``).
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from typing import Callable, Generator
 from ..core.errors import SimulationError
 from ..simulation.conditions import TICK, WaitCycles
 from ..simulation.fifo import Fifo
-from ..simulation.stats import GapHistogram
+from ..simulation.stats import GapHistogram, PlannerStats
 
 
 class PollingArbiter:
@@ -37,14 +44,20 @@ class PollingArbiter:
     """
 
     __slots__ = ("inputs", "read_burst", "_idx", "packets_accepted",
-                 "_wait_conds", "accept_hist", "_plan_miss", "_plan_skip")
+                 "_wait_conds", "accept_hist", "_plan_miss", "_plan_skip",
+                 "_plan_skip_len", "_resume_reads", "_plan_until",
+                 "_resume_state", "_coplanned", "_blocked_on",
+                 "_starved_on", "planner_stats")
 
     #: Consecutive planner misses before backing off, and how many polls
-    #: to skip planning for once backed off. Workloads the planner cannot
-    #: prove anything about (e.g. collectives keep every input flow-live)
-    #: would otherwise pay a failed planning attempt per per-flit packet.
-    PLAN_MISS_LIMIT = 4
+    #: to skip planning for once backed off — doubling on every repeat up
+    #: to the cap, so workloads the planner can prove nothing about (or
+    #: only single-take windows) converge to per-flit speed. A successful
+    #: multi-take window resets the backoff. (Backing off never changes
+    #: cycle counts — planning is cycle-neutral — only wall-clock speed.)
+    PLAN_MISS_LIMIT = 2
     PLAN_SKIP_POLLS = 256
+    PLAN_SKIP_MAX = 8192
 
     def __init__(self, inputs: list[Fifo], read_burst: int,
                  record_accepts: bool = False) -> None:
@@ -62,6 +75,15 @@ class PollingArbiter:
         self._wait_conds = tuple(f.can_pop for f in inputs)
         self._plan_miss = 0
         self._plan_skip = 0
+        self._plan_skip_len = self.PLAN_SKIP_POLLS
+        # Planner resume state (see module docstring):
+        self._resume_reads = -1       # >= 0: continue an open R-round
+        self._plan_until = 0          # absolute end of the committed window
+        self._resume_state = "run"    # "run" | "parked" | "window"
+        self._coplanned = False       # a peer planned our window while parked
+        self._blocked_on = None       # fifo backpressure that ended the last
+        self._starved_on = None       # window / the input that starved it
+        self.planner_stats = PlannerStats()
 
     def record_accept(self, cycle: int) -> None:
         """Count one accepted packet (histogram only if opted in)."""
@@ -76,49 +98,60 @@ class PollingArbiter:
         routing decision and staging of the packet (it may internally stall
         on backpressure). One packet is accepted per cycle at most.
 
-        ``planner(arbiter, engine, resume_reads, skip)``, if given, is the
-        burst fast path (see :func:`repro.transport.ck._plan_window`): a
+        ``planner(ck, engine, resume_reads, skip)``, if given, is the burst
+        fast path (:meth:`repro.transport.planner.SupplyPlanner.plan`): a
         plain call that simulates this very loop forward over the *known*
-        future — staged input schedules, flow-dead inputs, downstream slot
-        schedules — commits every take/stage it proved, and returns
-        ``(window, idx, resume_reads)`` so the loop sleeps the whole planned
-        window in one engine event and resumes in the exact per-flit state
-        (``resume_reads >= 0`` means mid-round with that many reads done).
-        ``None`` means nothing was provable; fall back to one per-flit step.
-        After a parked wake-up the pointer-scan charge is fused into the
-        same event as the plan (``skip``).
+        future, commits every take/stage it proved, stores the resume state
+        on this arbiter (``_plan_until``/``_idx``/``_resume_reads``) and
+        returns a truthy value — the loop then sleeps the whole committed
+        window in one engine event and resumes in the exact per-flit state.
+        ``None`` means nothing was provable; fall back to one per-flit
+        step. While this kernel sleeps or parks, a peer's cascade may
+        commit further windows on its behalf: a sleeping kernel simply
+        finds ``_plan_until`` moved when it wakes, a parked one is
+        preempted with ``_coplanned`` set and skips its wake-up scan.
         """
         inputs = self.inputs
         n = len(inputs)
         burst = self.read_burst
-        resume_reads = -1  # >= 0: continue an R-round a plan left open
         while True:
             if planner is not None:
+                until = self._plan_until
+                if until > engine.cycle:
+                    # A committed window (own, or planned by a peer's
+                    # cascade) covers the near future: sleep it off.
+                    self._resume_state = "window"
+                    yield WaitCycles(until - engine.cycle)
+                    self._resume_state = "run"
+                    continue
                 if self._plan_skip:
                     self._plan_skip -= 1
                 else:
                     before = self.packets_accepted
-                    plan = planner(self, engine, resume_reads, 0)
+                    plan = planner(self, engine, self._resume_reads, 0)
                     if plan is not None and \
-                            self.packets_accepted - before > 1:
+                            self.packets_accepted - before > 3:
                         self._plan_miss = 0
+                        self._plan_skip_len = self.PLAN_SKIP_POLLS
                     else:
                         # A failed attempt — or a window so short that
                         # planning cost more than the events it saved.
                         self._plan_miss += 1
                         if self._plan_miss >= self.PLAN_MISS_LIMIT:
                             # Nothing batchable here lately: poll per-flit
-                            # for a while before trying to plan again.
+                            # for a while before trying to plan again,
+                            # backing off harder each time it recurs.
                             self._plan_miss = 0
-                            self._plan_skip = self.PLAN_SKIP_POLLS
+                            self._plan_skip = self._plan_skip_len
+                            if self._plan_skip_len < self.PLAN_SKIP_MAX:
+                                self._plan_skip_len *= 2
                     if plan is not None:
-                        window, self._idx, resume_reads = plan
-                        yield WaitCycles(window)
                         continue
+            resume_reads = self._resume_reads
             fifo = inputs[self._idx]
             if resume_reads >= 0 or fifo.readable:
                 reads = max(resume_reads, 0)
-                resume_reads = -1
+                self._resume_reads = -1
                 if reads < burst and fifo.readable:
                     pkt = fifo.take()
                     self.record_accept(engine.cycle)
@@ -127,7 +160,7 @@ class PollingArbiter:
                     if reads < burst:
                         # Stay in the round; the planner gets another look
                         # before the next per-flit read.
-                        resume_reads = reads
+                        self._resume_reads = reads
                         continue
                 self._idx = (self._idx + 1) % n
             else:
@@ -139,7 +172,15 @@ class PollingArbiter:
                     # Nothing anywhere: park until any input becomes
                     # readable, then charge the scan distance the hardware
                     # pointer would have travelled.
+                    self._resume_state = "parked"
                     yield self._wait_conds
+                    self._resume_state = "run"
+                    if self._coplanned:
+                        # A peer's cascade planned our window while we were
+                        # parked (and already emulated this wake-up): the
+                        # loop top picks up the committed state.
+                        self._coplanned = False
+                        continue
                     scan = 0
                     while scan < n and not inputs[self._idx].readable:
                         self._idx = (self._idx + 1) % n
@@ -149,7 +190,5 @@ class PollingArbiter:
                             # Fuse the scan charge into the plan's sleep.
                             plan = planner(self, engine, -1, scan)
                             if plan is not None:
-                                window, self._idx, resume_reads = plan
-                                yield WaitCycles(window)
                                 continue
                         yield WaitCycles(scan)

@@ -29,6 +29,7 @@ from ..simulation.engine import Engine
 from ..simulation.fifo import Fifo
 from .ck import CKR, CKS
 from .collectives import SupportKernel, kernel_class
+from .planner import SupplyPlanner
 
 
 @dataclass
@@ -295,7 +296,8 @@ def build_transport(
                 record_accepts=config.record_accepts,
             )
             rt.cks[i] = cks
-            engine.spawn(cks.process(engine), cks.name, daemon=True)
+            cks.proc = engine.spawn(cks.process(engine), cks.name,
+                                    daemon=True)
 
             net_in = fabric.incoming(rank, i)
             ckr_inputs = (
@@ -317,7 +319,8 @@ def build_transport(
                 record_accepts=config.record_accepts,
             )
             rt.ckr[i] = ckr
-            engine.spawn(ckr.process(engine), ckr.name, daemon=True)
+            ckr.proc = engine.spawn(ckr.process(engine), ckr.name,
+                                    daemon=True)
 
         # --- collective support kernels --------------------------------------
         for decl in rank_plan.collective_ops():
@@ -337,11 +340,68 @@ def build_transport(
                 recv_ep=rt.recv_endpoints[port],
             )
             rt.support_kernels[port] = kernel
-            engine.spawn(kernel.process(engine), kernel.name, daemon=True)
+            kernel.proc = engine.spawn(kernel.process(engine), kernel.name,
+                                       daemon=True)
 
     if config.burst_mode:
-        # Only the burst planner consumes liveness; the per-flit reference
-        # interpretation stays free of the analysis (and its tripwire).
+        # Only the burst planner consumes liveness and supply contracts;
+        # the per-flit reference interpretation stays free of the analysis
+        # (and its tripwires).
         _mark_flow_liveness(plan, ranks, transit)
+        _wire_supply_planner(ranks)
 
     return Transport(config=config, routes=routes, fabric=fabric, ranks=ranks)
+
+
+def _wire_supply_planner(ranks: dict[int, RankTransport]):
+    """Publish the transport's supply-schedule contracts (burst mode only).
+
+    Three facts the planner consumes are static properties of the wiring,
+    so the builder declares them once:
+
+    * every transit FIFO and link has exactly one *producer* CK process —
+      registering it (``Fifo.register_producer``) enables producer-sleep
+      horizons, transitively through parked CK chains and across links;
+    * receive endpoints are written only by their home CKR, and a
+      collective port's send endpoint and element stream only by its
+      support kernel — registering those closes the loops the horizon
+      recursion walks through app-facing layers;
+    * every transit FIFO and link joins a single cluster-wide
+      :class:`SupplyPlanner` with its producer and consumer CK, which is
+      what lets one engine event plan windows across CK boundaries.
+
+    App-written endpoints (p2p send endpoints, collective ``app_in`` /
+    ``ctrl``) stay unregistered: kernels may push from helper processes
+    the metadata cannot see, so their producer sets are not closed.
+    """
+    sp = SupplyPlanner()
+    for rt in ranks.values():
+        for rank_cks in rt.cks.values():
+            rank_cks.supply_planner = sp
+        for rank_ckr in rt.ckr.values():
+            rank_ckr.supply_planner = sp
+    for rt in ranks.values():
+        for i, cks in rt.cks.items():
+            cks.to_paired_ckr.register_producer(cks.proc)
+            sp.wire(cks.to_paired_ckr, producer=cks, consumer=rt.ckr[i])
+            for j, fifo in cks.to_other_cks.items():
+                fifo.register_producer(cks.proc)
+                sp.wire(fifo, producer=cks, consumer=rt.cks[j])
+            link = cks.net_link
+            if link is not None:
+                link.register_producer(cks.proc)
+                dst_rank, dst_iface = link.dst
+                sp.wire(link.fifo, producer=cks,
+                        consumer=ranks[dst_rank].ckr[dst_iface])
+        for i, ckr in rt.ckr.items():
+            ckr.to_paired_cks.register_producer(ckr.proc)
+            sp.wire(ckr.to_paired_cks, producer=ckr, consumer=rt.cks[i])
+            for j, fifo in ckr.to_other_ckr.items():
+                fifo.register_producer(ckr.proc)
+                sp.wire(fifo, producer=ckr, consumer=rt.ckr[j])
+            for fifo in ckr.recv_endpoints.values():
+                fifo.register_producer(ckr.proc)
+        for kernel in rt.support_kernels.values():
+            kernel.send_ep.register_producer(kernel.proc)
+            kernel.app_out.register_producer(kernel.proc)
+    return sp

@@ -15,18 +15,24 @@ table, and forward each packet in the same cycle it was accepted:
   paired CKS (this rank is an intermediate hop); local destination → by
   *port*: deliver to the endpoint FIFO if the port lives on interface *i*,
   else over to the CKR owning the port's interface.
+
+In burst mode the kernels delegate window planning to the supply-schedule
+planner (:mod:`repro.transport.planner`): the transport builder wires all
+CKs of a cluster to one :class:`~repro.transport.planner.SupplyPlanner`
+(so plans cascade across CK boundaries and through links) and records each
+kernel's engine process handle for co-planning; a standalone kernel falls
+back to the solo planner with no cascade peers.
 """
 
 from __future__ import annotations
 
-from heapq import merge as _heap_merge
 from typing import Generator
 
 from ..core.errors import RoutingError
-from ..network.link import Link
-from ..simulation.conditions import TICK, WaitCycles
+from ..simulation.conditions import TICK
 from ..simulation.fifo import Fifo
 from .arbiter import PollingArbiter
+from .planner import SOLO_PLANNER, SupplyPlanner
 
 
 def _stage_with_backpressure(out, pkt) -> Generator:
@@ -39,274 +45,6 @@ def _stage_with_backpressure(out, pkt) -> Generator:
         yield out.wait_writable()
     out.stage(pkt)
     yield TICK
-
-
-#: Safety bound on planned takes per window (keeps commit lists small).
-_PLAN_MAX_TAKES = 2048
-
-#: Snapshot depth per input per plan. Deeper queues (the link FIFOs hold a
-#: full bandwidth-delay product) are cut here; the planner treats the cut
-#: as an unknown-future boundary, which is always sound.
-_PLAN_SNAPSHOT = 16
-
-#: "Provably empty at any cycle" horizon for flow-dead inputs.
-_FOREVER = 1 << 62
-
-
-def _snap_input(f, pkts_l, rdy_l, hz_l, j, now, start):
-    """Lazily snapshot input ``j`` for a planning window.
-
-    Fills ``pkts_l``/``rdy_l`` with the items physically present (visible
-    + staged, oldest first, with exact visibility cycles) and ``hz_l``
-    with the cycle up to (and excluding) which "snapshot drained" provably
-    means "unreadable": unlimited for flow-dead inputs, the
-    unknown-arrival horizon ``now + latency`` for live ones, and the plan
-    start for truncated snapshots (nothing provable beyond the cut).
-    """
-    if f.flow_dead:
-        P = rdy_l[j] = ()
-        hz_l[j] = _FOREVER
-    else:
-        P, rdy_l[j] = f.present_schedule(now, _PLAN_SNAPSHOT)
-        hz_l[j] = start if len(P) >= _PLAN_SNAPSHOT else now + f.latency
-    pkts_l[j] = P
-    return P
-
-
-class _TargetCursor:
-    """Planning-time view of one routing target's future slot schedule.
-
-    ``free``/``rels``/``rel_ptr``/``next_free`` mirror the per-flit
-    ``_stage_with_backpressure`` stall model: a currently-free slot stages
-    as soon as line pacing allows; a slot reserved by the consumer's own
-    burst takes stages the cycle after it releases (the cycle a producer
-    blocked on ``can_push`` would wake); with neither, the per-flit path
-    would block open-endedly, so the plan must stop. The planner mirrors
-    these fields into locals inside its hot loop and flushes them back on
-    target switches.
-    """
-
-    __slots__ = ("target", "is_link", "free", "rels", "rel_ptr", "next_free",
-                 "pace", "stage_cycles", "stage_pkts")
-
-    def __init__(self, target, now: int) -> None:
-        self.target = target
-        self.is_link = isinstance(target, Link)
-        fifo = target.fifo if self.is_link else target
-        self.free, self.rels = fifo.slot_plan(now)
-        self.rel_ptr = 0
-        self.next_free = target._next_free if self.is_link else 0
-        self.pace = target.cycles_per_packet if self.is_link else 0
-        self.stage_cycles: list[int] = []
-        self.stage_pkts: list = []
-
-
-def _plan_window(ck, arbiter, engine, resume_reads, skip):
-    """Multi-round burst planner: one engine event per provable window.
-
-    Simulates :meth:`PollingArbiter.run`'s per-flit state machine forward
-    from ``engine.cycle + skip`` over the *known* future only — staged
-    input schedules (items already in flight, with their exact visibility
-    cycles), flow-dead inputs (statically proven to never carry traffic),
-    and downstream slot schedules — and commits every take/stage it proved
-    with the exact per-flit cycles, including R-round budgets, empty-input
-    scan charges, and parked gaps whose wake-up cycle is already decided
-    by an in-flight item. The plan stops at the first decision that
-    depends on information not yet in the simulation (an arrival that has
-    not been staged, a stall with no known release) and hands the loop
-    back in the exact per-flit state, so resuming is seamless and the
-    cycle trajectory is identical to the literal interpretation.
-
-    Returns ``(window, idx, resume_reads)`` or ``None`` when nothing could
-    be proved (the caller then falls back to one per-flit step).
-    """
-    inputs = arbiter.inputs
-    n = len(inputs)
-    burst = arbiter.read_burst
-    now = engine.cycle
-    start = now + skip
-    c = start
-    idx = arbiter._idx
-    mode_reads = resume_reads  # -1 = FRESH, >= 0 = mid-round reads done
-    route = ck._route
-    memo = ck._route_memo
-    pkts_l: list = [None] * n  # per-input snapshot: items
-    rdy_l: list = [None] * n   # per-input snapshot: visibility cycles
-    ptr = [0] * n
-    takes: list = [None] * n
-    cursors: dict[int, _TargetCursor] = {}
-    total = 0
-    ended = False  # plan hit an unknowable decision: stop where we are
-
-    # Per input, the cycle up to (and excluding) which "snapshot drained"
-    # provably means "unreadable": unlimited for flow-dead inputs, the
-    # unknown-arrival horizon now + latency for live ones, and the current
-    # plan start for truncated snapshots (nothing provable beyond the cut).
-    hz_l: list = [0] * n
-    # Cached cursor of the current routing target, mirrored into locals
-    # (flushed back on switch and before commit).
-    t_cur = None
-    t_key = -1
-    t_free = t_rp = t_nf = t_pace = 0
-    t_isl = False
-    t_rels = t_sc = t_sp = ()
-
-    while not ended and total < _PLAN_MAX_TAKES:
-        P = pkts_l[idx]
-        if P is None:
-            P = _snap_input(inputs[idx], pkts_l, rdy_l, hz_l, idx, now, start)
-        R = rdy_l[idx]
-        p = ptr[idx]
-        k = len(P)
-        # ---- FRESH readability check / R-round over input idx ----------
-        if mode_reads < 0:
-            if p >= k:
-                # Drained (or empty): provably unreadable only below the
-                # input's unknown-arrival horizon.
-                if c >= hz_l[idx]:
-                    break
-                # fall through to rotation / scan / park below
-            elif R[p] <= c:
-                mode_reads = 0
-            # (head exists but is not visible yet: provably unreadable)
-        if mode_reads >= 0:
-            tk = takes[idx]
-            if tk is None:
-                tk = takes[idx] = []
-            hz = hz_l[idx]
-            while mode_reads < burst:
-                if p >= k:
-                    if c >= hz:
-                        ended = True  # unknown readability: stop in ROUND
-                    break
-                if R[p] > c:
-                    break  # head not visible: the R-round ends here
-                pkt = P[p]
-                key = (pkt.dst << 8) | pkt.port
-                if key != t_key:
-                    if t_cur is not None:  # flush the outgoing cursor
-                        t_cur.free = t_free
-                        t_cur.rel_ptr = t_rp
-                        t_cur.next_free = t_nf
-                        t_cur = None
-                        t_key = -1
-                    out = memo.get(key)
-                    if out is None:
-                        try:
-                            out = route(pkt)
-                        except RoutingError:
-                            # The per-flit path raises at this exact cycle.
-                            ended = True
-                            break
-                        memo[key] = out
-                    t_cur = cursors.get(id(out))
-                    if t_cur is None:
-                        t_cur = cursors[id(out)] = _TargetCursor(out, now)
-                    t_key = key
-                    t_free = t_cur.free
-                    t_rels = t_cur.rels
-                    t_rp = t_cur.rel_ptr
-                    t_nf = t_cur.next_free
-                    t_pace = t_cur.pace
-                    t_isl = t_cur.is_link
-                    t_sc = t_cur.stage_cycles
-                    t_sp = t_cur.stage_pkts
-                # Earliest per-flit stage cycle (see _TargetCursor).
-                s = t_nf if (t_isl and t_nf > c) else c
-                if t_free > 0:
-                    t_free -= 1
-                elif t_rp < len(t_rels):
-                    floor = t_rels[t_rp] + 1
-                    t_rp += 1
-                    if floor > s:
-                        s = floor
-                else:
-                    ended = True  # unknown backpressure: stop before take
-                    break
-                if t_isl:
-                    t_nf = s + t_pace
-                tk.append(c)
-                t_sc.append(s)
-                t_sp.append(pkt)
-                total += 1
-                p += 1
-                c = s + 1
-                mode_reads += 1
-            ptr[idx] = p
-            if ended:
-                break
-            idx = (idx + 1) % n
-            mode_reads = -1
-            continue
-        # ---- unreadable at c: rotate, then scan-charge or park ---------
-        any_r = False
-        wake = None
-        for j in range(n):
-            Pj = pkts_l[j]
-            if Pj is None:
-                Pj = _snap_input(inputs[j], pkts_l, rdy_l, hz_l, j, now,
-                                 start)
-            pj = ptr[j]
-            if pj < len(Pj):
-                rdy = rdy_l[j][pj]
-                if rdy <= c:
-                    any_r = True
-                    break
-                if wake is None or rdy < wake:
-                    wake = rdy
-            elif c >= hz_l[j]:
-                ended = True  # cannot even decide "anything readable?"
-                break
-        if ended:
-            break
-        if any_r:
-            idx = (idx + 1) % n
-            c += 1  # the pointer scan costs this cycle
-            continue
-        # Park: wake at the first known future visibility, provided no
-        # unknown arrival could beat (or tie) it on a drained input.
-        if wake is None:
-            break
-        for j in range(n):
-            if ptr[j] >= len(pkts_l[j]) and hz_l[j] <= wake:
-                wake = None
-                break
-        if wake is None:
-            break
-        idx = (idx + 1) % n  # per-flit rotates before parking
-        scan = 0
-        while scan < n:
-            Pj = pkts_l[idx]  # None / () only for provably empty inputs
-            if Pj:
-                pj = ptr[idx]
-                if pj < len(Pj) and rdy_l[idx][pj] <= wake:
-                    break
-            idx = (idx + 1) % n
-            scan += 1
-        c = wake + scan
-
-    if t_cur is not None:  # flush the cached cursor before committing
-        t_cur.free = t_free
-        t_cur.rel_ptr = t_rp
-        t_cur.next_free = t_nf
-    if total == 0 and c == start:
-        return None
-    for i in range(n):
-        if takes[i]:
-            inputs[i].take_burst(takes[i], collect=False)
-    for cur in cursors.values():
-        if cur.stage_pkts:
-            cur.target.stage_burst(cur.stage_pkts, cur.stage_cycles)
-    if total:
-        arbiter.packets_accepted += total
-        hist = arbiter.accept_hist
-        if hist is not None:
-            # Reconstruct global accept order: take cycles strictly
-            # increase within a plan, so merging the per-input sorted
-            # lists recovers the per-flit recording order exactly.
-            for cyc in _heap_merge(*(tk for tk in takes if tk)):
-                hist.record(cyc)
-    return c - now, idx, mode_reads
 
 
 class CKS:
@@ -334,6 +72,8 @@ class CKS:
         self.burst_mode = burst_mode
         self.arbiter = PollingArbiter(inputs, read_burst, record_accepts)
         self._route_memo: dict = {}  # (dst, port) -> routing target
+        self.supply_planner: SupplyPlanner = SOLO_PLANNER
+        self.proc = None  # engine Process handle, set by the builder
         self.name = f"rank{rank}.cks{iface}"
 
     def _route(self, pkt):
@@ -362,7 +102,7 @@ class CKS:
         yield from _stage_with_backpressure(self._route(pkt), pkt)
 
     def _planner(self, arbiter, engine, resume_reads, skip):
-        return _plan_window(self, arbiter, engine, resume_reads, skip)
+        return self.supply_planner.plan(self, engine, resume_reads, skip)
 
     def process(self, engine) -> Generator:
         """The kernel's forever-serving main loop (spawned as a daemon)."""
@@ -395,6 +135,8 @@ class CKR:
         self.burst_mode = burst_mode
         self.arbiter = PollingArbiter(inputs, read_burst, record_accepts)
         self._route_memo: dict = {}  # (dst, port) -> routing target
+        self.supply_planner: SupplyPlanner = SOLO_PLANNER
+        self.proc = None  # engine Process handle, set by the builder
         self.name = f"rank{rank}.ckr{iface}"
 
     def _route(self, pkt):
@@ -427,7 +169,7 @@ class CKR:
         yield from _stage_with_backpressure(self._route(pkt), pkt)
 
     def _planner(self, arbiter, engine, resume_reads, skip):
-        return _plan_window(self, arbiter, engine, resume_reads, skip)
+        return self.supply_planner.plan(self, engine, resume_reads, skip)
 
     def process(self, engine) -> Generator:
         """The kernel's forever-serving main loop (spawned as a daemon)."""

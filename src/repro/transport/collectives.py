@@ -41,7 +41,7 @@ from ..core.datatypes import SMIDatatype
 from ..core.errors import ChannelError, SimulationError
 from ..core.ops import SMIOp
 from ..network.packet import OpType, Packet
-from ..simulation.conditions import TICK
+from ..simulation.conditions import TICK, WaitCycles
 from ..simulation.fifo import Fifo
 from .packing import PacketPacker
 
@@ -96,6 +96,7 @@ class SupportKernel:
         self.recv_ep = recv_ep
         self.name = f"rank{rank}.{self.kind}{port}"
         self.operations_served = 0
+        self.proc = None  # engine Process handle, set by the builder
 
     # ------------------------------------------------------------------
     # Common sub-behaviours
@@ -141,21 +142,99 @@ class SupportKernel:
             yield TICK
 
     def _stream_app_to_network(self, dst: int, count: int) -> Generator:
-        """Pack ``count`` app elements into DATA packets towards ``dst``."""
+        """Pack ``count`` app elements into DATA packets towards ``dst``.
+
+        In burst mode, whole packet runs are planned against ``app_in``'s
+        committed element schedule and ``send_ep``'s slot schedule and
+        staged in one engine event with the exact per-flit cycles — the
+        support kernel's side of the supply-schedule contract. The
+        committed multi-packet runs (and the kernel's sleep over them)
+        are what give the CKS window planner something to batch on
+        collective workloads, whose transit FIFOs static flow-liveness
+        cannot help. Falls back to literal element steps wherever the
+        next decision is not provable (mid-packet state, unknown
+        endpoint backpressure, drained ``app_in``).
+        """
         packer = PacketPacker(self.rank, dst, self.port, self.dtype)
-        for _ in range(count):
-            while not self.app_in.readable:
-                yield self.app_in.can_pop
-            value = self.app_in.take()
-            pkt = packer.add(value)
-            if pkt is not None:
-                while not self.send_ep.writable:
-                    yield self.send_ep.can_push
-                self.send_ep.stage(pkt)
-            yield TICK
+        if self.config.burst_mode:
+            yield from self._stream_app_to_network_burst(packer, count)
+        else:
+            for _ in range(count):
+                yield from self._literal_element_step(packer)
         tail = packer.flush()
         if tail is not None:
             yield from self._send_packet(tail)
+
+    def _literal_element_step(self, packer: PacketPacker) -> Generator:
+        """One per-flit iteration of the app->network stream."""
+        while not self.app_in.readable:
+            yield self.app_in.can_pop
+        value = self.app_in.take()
+        pkt = packer.add(value)
+        if pkt is not None:
+            while not self.send_ep.writable:
+                yield self.send_ep.can_push
+            self.send_ep.stage(pkt)
+        yield TICK
+
+    def _stream_app_to_network_burst(self, packer: PacketPacker,
+                                     count: int) -> Generator:
+        """Burst fast path for :meth:`_stream_app_to_network` (no tail)."""
+        app_in = self.app_in
+        send_ep = self.send_ep
+        engine = app_in.engine
+        epp = self.dtype.elements_per_packet
+        sent = 0
+        while sent < count:
+            groups = min(app_in.present_count, count - sent) // epp
+            if groups == 0 or packer.pending:
+                yield from self._literal_element_step(packer)
+                sent += 1
+                continue
+            now = engine.cycle
+            items, ready = app_in.present_schedule(now)
+            free, rels = send_ep.slot_plan(now)
+            rel_idx = 0
+            c = now
+            take_cycles: list[int] = []
+            stage_cycles: list[int] = []
+            planned = 0
+            for g in range(groups):
+                base = g * epp
+                g_takes = []
+                gc = c  # group-local cursor: an aborted group commits
+                # nothing, so it must not advance the window either
+                for j in range(epp):
+                    r = ready[base + j]
+                    if r > gc:
+                        gc = r  # stall until the element turns visible
+                    g_takes.append(gc)
+                    if j < epp - 1:
+                        gc += 1  # per-element TICK
+                # The packet stages in the last element's cycle, pushed
+                # later by endpoint backpressure with a known release.
+                if free > 0:
+                    free -= 1
+                    s = gc
+                elif rel_idx < len(rels):
+                    s = max(gc, rels[rel_idx] + 1)
+                    rel_idx += 1
+                else:
+                    break  # unknown backpressure: stop at this boundary
+                take_cycles.extend(g_takes)
+                stage_cycles.append(s)
+                planned += epp
+                c = s + 1  # the closing TICK of the staging element
+            if planned == 0:
+                yield from self._literal_element_step(packer)
+                sent += 1
+                continue
+            pkts = packer.pack_run(items[:planned])
+            app_in.take_burst(take_cycles, collect=False)
+            send_ep.stage_burst(pkts, stage_cycles)
+            sent += planned
+            if c > now:
+                yield WaitCycles(c - now)
 
     def _stream_network_to_app(self, count: int) -> Generator:
         """Unpack ``count`` DATA elements from recv_ep into app_out."""

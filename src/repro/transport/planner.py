@@ -1,0 +1,691 @@
+"""Supply-schedule burst planning: the simulator's data-plane fast path.
+
+The burst data plane moves whole polling windows through FIFO -> arbiter ->
+CKS/CKR -> link in one engine event while staying cycle-identical to the
+per-flit reference interpretation. This module is the planning layer that
+makes that possible, organised around one contract:
+
+**SupplySchedule.** Any flit source — an application channel's vectorised
+push, a CK forwarding a planned window, a collective support kernel, an
+inter-FPGA link — publishes ``(cycle, count)`` commitments about what it
+will provably stage and when, simply by staging early with exact future
+cycles; :meth:`repro.simulation.fifo.Fifo.present_schedule` exposes the
+committed items and :meth:`Fifo.supply_horizon` the *horizon*: the cycle
+below which no unknown arrival can turn visible. Horizons come from three
+sources, in increasing power:
+
+* the registered-FIFO handoff (``now + latency`` — a stage this cycle is
+  invisible before that);
+* static flow-liveness (a flow-dead FIFO is empty forever);
+* **producer-sleep horizons**: with a closed, registered producer set, a
+  producer blocked in the engine until cycle T provably stages nothing
+  before T (:meth:`repro.simulation.engine.Engine.process_floor`), and the
+  query recurses through parked producer chains — a CKS parked on inputs
+  whose own producers sleep is itself asleep. This is what makes
+  collective workloads plannable without static routes: runtime
+  communicators keep every transit FIFO flow-live, but the support
+  kernels' sleep states still bound every unknown.
+
+:func:`plan_window` consumes supply schedules to simulate one CK's polling
+loop forward over the known future only, committing every take/stage with
+the exact per-flit cycles (R-round budgets, scan charges, parked gaps,
+link pacing) and stopping at the first decision that depends on
+information not yet in the simulation.
+
+**Cascaded co-planning.** A single-CK plan saturates at one FIFO depth per
+engine event on multi-hop paths: CK_a stages one ``inter_ck_fifo_depth``
+window into the FIFO toward CK_b and stops at unknown backpressure; CK_b's
+takes only become known at its own next event. :class:`SupplyPlanner`
+breaks that fixpoint: when a committed plan stages into a FIFO whose
+consumer CK is parked or sleeping a planned window, the consumer's next
+window is planned *in the same engine event* (its commits are published as
+the supply/slot schedule of the next hop), then the producer's plan is
+extended against the freed slots, and so on along the pipeline — one
+engine event plans a multi-hop stream end-to-end. Parked consumers get a
+firm wake (:meth:`Engine.preempt`) since their planned takes may empty the
+very FIFOs whose conditions would have woken them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import merge as _heap_merge
+
+from ..core.errors import RoutingError
+from ..network.link import Link
+from ..simulation.engine import FOREVER
+
+#: Safety bound on planned takes per window (keeps commit lists small).
+PLAN_MAX_TAKES = 2048
+
+#: Snapshot depth per input per plan. Deeper queues (the link FIFOs hold a
+#: full bandwidth-delay product) are cut here; the planner treats the cut
+#: as an unknown-future boundary, which is always sound — and the cascade
+#: re-snapshots on every extension, so truncation only bounds one pass.
+PLAN_SNAPSHOT = 16
+
+#: Total co-plan / extension attempts per cascade (per initiating event).
+CASCADE_BUDGET = 64
+
+
+class _TargetCursor:
+    """Planning-time view of one routing target's future slot schedule.
+
+    ``free``/``rels``/``rel_ptr``/``next_free`` mirror the per-flit
+    ``_stage_with_backpressure`` stall model: a currently-free slot stages
+    as soon as line pacing allows; a slot reserved by the consumer's own
+    burst takes stages the cycle after it releases (the cycle a producer
+    blocked on ``can_push`` would wake); with neither, the per-flit path
+    would block open-endedly, so the plan must stop. The planner mirrors
+    these fields into locals inside its hot loop and flushes them back on
+    target switches.
+
+    Cursors live for one cascade (one engine event) and are shared by all
+    of its plan calls: a later extension must not re-pair a reserved slot
+    release the first plan already staged against. :meth:`refresh` re-reads
+    the slot schedule at the start of a later call — the committed stages
+    are netted out of ``free`` by ``slot_plan`` itself, and ``rel_ptr``
+    stays valid because within one event the pending-release list only ever
+    grows at the tail (the wall clock does not move, so no release expires).
+    """
+
+    __slots__ = ("target", "fifo", "is_link", "free", "rels", "rel_ptr",
+                 "rel_base", "next_free", "pace", "stage_cycles",
+                 "stage_pkts", "stamp")
+
+    def __init__(self, target, now: int, stamp: int) -> None:
+        self.target = target
+        self.is_link = isinstance(target, Link)
+        self.fifo = target.fifo if self.is_link else target
+        self.free, self.rels = self.fifo.slot_plan(now)
+        self.rel_ptr = 0
+        self.rel_base = self.fifo._reserved_paired
+        self.next_free = target._next_free if self.is_link else 0
+        self.pace = target.cycles_per_packet if self.is_link else 0
+        self.stage_cycles: list[int] = []
+        self.stage_pkts: list = []
+        self.stamp = stamp  # plan-call counter of the last refresh
+
+    def refresh(self, now: int) -> None:
+        """Re-read committed slot state (later plan call, or rollback).
+
+        All pairings so far are committed (``commit_pairings`` ran) or
+        being discarded, so the re-read release list starts exactly past
+        the committed ones: re-base the pointer. ``next_free`` likewise
+        returns to the link's committed pacing state — after a commit the
+        two agree, and after a declined window the cursor's speculative
+        advance must be dropped.
+        """
+        self.free, self.rels = self.fifo.slot_plan(now)
+        self.rel_base = self.fifo._reserved_paired
+        self.rel_ptr = 0
+        if self.is_link:
+            self.next_free = self.target._next_free
+
+    def commit_pairings(self) -> None:
+        """Persist how many releases this cursor's stages consumed, so
+        plans in later engine events do not hand the same slot out twice."""
+        self.fifo._reserved_paired = self.rel_base + self.rel_ptr
+
+
+class PlanResult:
+    """One committed window: resume state plus the FIFOs it touched."""
+
+    __slots__ = ("end", "idx", "resume_reads", "takes", "sources", "targets",
+                 "blocked_on", "starved_on")
+
+    def __init__(self, end, idx, resume_reads, takes, sources, targets,
+                 blocked_on, starved_on):
+        self.end = end                    # absolute cycle the window covers
+        self.idx = idx                    # arbiter pointer at resume
+        self.resume_reads = resume_reads  # -1 fresh, >= 0 mid-R-round
+        self.takes = takes                # packets moved
+        self.sources = sources            # input FIFOs taken from
+        self.targets = targets            # FIFOs staged into (links: theirs)
+        self.blocked_on = blocked_on      # fifo whose backpressure ended it
+        self.starved_on = starved_on      # input whose unknown supply did
+
+
+#: Horizon sentinel for truncated snapshots: more items exist physically
+#: beyond the cut, so "drained" NEVER means "unreadable" — no horizon
+#: (not even a producer-sleep one, which only bounds *unknown* arrivals)
+#: may rescue a decision there.
+_TRUNCATED = -1
+
+
+def _snap_input(f, pkts_l, rdy_l, hz_l, j, now):
+    """Lazily snapshot input ``j``'s supply schedule for a planning window.
+
+    Fills ``pkts_l``/``rdy_l`` with the published commitments (items
+    physically present, oldest first, with exact visibility cycles).
+    ``hz_l`` gets the horizon below which "snapshot drained" provably
+    means "unreadable" — ``_TRUNCATED`` for a cut snapshot, and ``None``
+    as a placeholder otherwise: the (possibly recursive) producer-sleep
+    query runs only if the plan actually drains the input.
+    """
+    if f._flow_dead:
+        P = pkts_l[j] = ()
+        rdy_l[j] = ()
+        hz_l[j] = FOREVER
+        return P
+    P, rdy_l[j] = f.present_schedule(now, PLAN_SNAPSHOT)
+    pkts_l[j] = P
+    hz_l[j] = _TRUNCATED if len(P) >= PLAN_SNAPSHOT else None
+    return P
+
+
+def _silent_hz(ck, f, cycle):
+    """``f``'s supply horizon under the planner's self-silence fixpoint.
+
+    The unconditional horizon treats the planning kernel as "running now",
+    which poisons any producer chain that loops back through it — a CKS
+    asking about its paired CKR finds "it could wake from my own loopback
+    stage next cycle". But while the plan's cursor sits at ``cycle``,
+    every stage this kernel could still make lands at or after ``cycle``
+    (the cursor only moves forward), and during a proposed park it makes
+    none at all before the wake — so seeding the kernel's own floor with
+    ``cycle`` is sound, by induction on the earliest cycle anything could
+    deviate. Computed with a throwaway memo: the assumption is scoped to
+    one decision, never to the cascade-wide cache.
+    """
+    proc = ck.proc
+    if proc is None:
+        return 0
+    return f.supply_horizon({id(proc): cycle})
+
+
+def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
+                cursors=None, stamp=0):
+    """Multi-round burst planner: one provable window for one CK.
+
+    Simulates :meth:`PollingArbiter.run`'s per-flit state machine forward
+    from the absolute cycle ``start`` over the *known* future only —
+    supply schedules (items already committed, with their exact visibility
+    cycles and horizons) and downstream slot schedules — and commits every
+    take/stage it proved with the exact per-flit cycles, including R-round
+    budgets, empty-input scan charges, and parked gaps whose wake-up cycle
+    is already decided by an in-flight item. The plan stops at the first
+    decision that depends on information not yet in the simulation (an
+    arrival that has not been committed, a stall with no known release)
+    and returns the exact per-flit resume state, so resuming — per-flit or
+    by a later plan — is seamless and the cycle trajectory is identical to
+    the literal interpretation.
+
+    ``start`` may lie in the future (cascade extensions and co-plans plan
+    from a CK's committed wake); snapshots are always taken against the
+    current wall state, which is exactly what is provable. Returns a
+    :class:`PlanResult` or ``None`` when nothing could be proved (the
+    caller then falls back to one per-flit step).
+    """
+    arbiter = ck.arbiter
+    inputs = arbiter.inputs
+    n = len(inputs)
+    burst = arbiter.read_burst
+    now = engine.cycle
+    c = start
+    if idx is None:
+        idx = arbiter._idx
+    mode_reads = resume_reads  # -1 = FRESH, >= 0 = mid-round reads done
+    route = ck._route
+    route_memo = ck._route_memo
+    pkts_l: list = [None] * n  # per-input snapshot: items
+    rdy_l: list = [None] * n   # per-input snapshot: visibility cycles
+    hz_l: list = [0] * n       # per-input snapshot: unknown-supply horizon
+    ptr = [0] * n
+    takes: list = [None] * n
+    if cursors is None:
+        cursors = {}  # id(target) -> _TargetCursor, shared per cascade
+    total = 0
+    ended = False  # plan hit an unknowable decision: stop where we are
+    blocked_on = None  # fifo whose unknown backpressure ended the plan
+    starved_on = None  # input whose unknown supply ended the plan
+    if memo is None:
+        memo = {}
+
+    def starved(j, at):
+        """Is drained input ``j`` of unknowable readability by ``at``?
+
+        True when an unknown arrival could be visible at or before
+        ``at``: always for a truncated snapshot (more items physically
+        exist beyond the cut), otherwise when neither the cached
+        unconditional horizon nor the self-silence retry exceeds ``at``.
+        Only reached on give-up paths, so the closure stays off the hot
+        take loop.
+        """
+        hz = hz_l[j]
+        if hz is None:
+            hz = hz_l[j] = inputs[j].supply_horizon(memo)
+        return hz == _TRUNCATED or (
+            hz <= at and _silent_hz(ck, inputs[j], at) <= at)
+
+    # Cached cursor of the current routing target, mirrored into locals
+    # (flushed back on switch and before commit).
+    t_cur = None
+    t_key = -1
+    t_free = t_rp = t_nf = t_pace = 0
+    t_isl = False
+    t_rels = t_sc = t_sp = ()
+
+    while not ended and total < PLAN_MAX_TAKES:
+        P = pkts_l[idx]
+        if P is None:
+            P = _snap_input(inputs[idx], pkts_l, rdy_l, hz_l, idx, now)
+        R = rdy_l[idx]
+        p = ptr[idx]
+        k = len(P)
+        # ---- FRESH readability check / R-round over input idx ----------
+        if mode_reads < 0:
+            if p >= k:
+                # Drained (or empty): provably unreadable only below the
+                # input's unknown-supply horizon (computed on first use,
+                # retried under the self-silence fixpoint before giving up).
+                if starved(idx, c):
+                    starved_on = inputs[idx]
+                    break
+                # fall through to rotation / scan / park below
+            elif R[p] <= c:
+                mode_reads = 0
+            # (head exists but is not visible yet: provably unreadable)
+        if mode_reads >= 0:
+            tk = takes[idx]
+            if tk is None:
+                tk = takes[idx] = []
+            while mode_reads < burst:
+                if p >= k:
+                    if starved(idx, c):
+                        ended = True  # unknown readability: stop in ROUND
+                        starved_on = inputs[idx]
+                    break
+                if R[p] > c:
+                    break  # head not visible: the R-round ends here
+                pkt = P[p]
+                key = (pkt.dst << 8) | pkt.port
+                if key != t_key:
+                    if t_cur is not None:  # flush the outgoing cursor
+                        t_cur.free = t_free
+                        t_cur.rel_ptr = t_rp
+                        t_cur.next_free = t_nf
+                        t_cur = None
+                        t_key = -1
+                    out = route_memo.get(key)
+                    if out is None:
+                        try:
+                            out = route(pkt)
+                        except RoutingError:
+                            # The per-flit path raises at this exact cycle.
+                            ended = True
+                            break
+                        route_memo[key] = out
+                    t_cur = cursors.get(id(out))
+                    if t_cur is None:
+                        t_cur = cursors[id(out)] = _TargetCursor(out, now,
+                                                                 stamp)
+                    elif t_cur.stamp != stamp:
+                        # Carried over from an earlier plan call of this
+                        # cascade: re-read the slot schedule once.
+                        t_cur.refresh(now)
+                        t_cur.stamp = stamp
+                    t_key = key
+                    t_free = t_cur.free
+                    t_rels = t_cur.rels
+                    t_rp = t_cur.rel_ptr
+                    t_nf = t_cur.next_free
+                    t_pace = t_cur.pace
+                    t_isl = t_cur.is_link
+                    t_sc = t_cur.stage_cycles
+                    t_sp = t_cur.stage_pkts
+                # Earliest per-flit stage cycle (see _TargetCursor).
+                s = t_nf if (t_isl and t_nf > c) else c
+                if t_free > 0:
+                    t_free -= 1
+                elif t_rp < len(t_rels):
+                    floor = t_rels[t_rp] + 1
+                    t_rp += 1
+                    if floor > s:
+                        s = floor
+                else:
+                    ended = True  # unknown backpressure: stop before take
+                    blocked_on = t_cur.fifo
+                    break
+                if t_isl:
+                    t_nf = s + t_pace
+                tk.append(c)
+                t_sc.append(s)
+                t_sp.append(pkt)
+                total += 1
+                p += 1
+                c = s + 1
+                mode_reads += 1
+            ptr[idx] = p
+            if ended:
+                break
+            idx = (idx + 1) % n
+            mode_reads = -1
+            continue
+        # ---- unreadable at c: rotate, then scan-charge or park ---------
+        any_r = False
+        wake = None
+        for j in range(n):
+            Pj = pkts_l[j]
+            if Pj is None:
+                Pj = _snap_input(inputs[j], pkts_l, rdy_l, hz_l, j, now)
+            pj = ptr[j]
+            if pj < len(Pj):
+                rdy = rdy_l[j][pj]
+                if rdy <= c:
+                    any_r = True
+                    break
+                if wake is None or rdy < wake:
+                    wake = rdy
+            elif starved(j, c):
+                ended = True  # cannot even decide "anything readable?"
+                starved_on = inputs[j]
+                break
+        if ended:
+            break
+        if any_r:
+            idx = (idx + 1) % n
+            c += 1  # the pointer scan costs this cycle
+            continue
+        # Park: wake at the first known future visibility, provided no
+        # unknown arrival could beat (or tie) it on a drained input.
+        if wake is None:
+            break
+        for j in range(n):
+            if ptr[j] >= len(pkts_l[j]) and starved(j, wake):
+                starved_on = inputs[j]
+                wake = None
+                break
+        if wake is None:
+            break
+        idx = (idx + 1) % n  # per-flit rotates before parking
+        scan = 0
+        while scan < n:
+            Pj = pkts_l[idx]  # None / () only for provably empty inputs
+            if Pj:
+                pj = ptr[idx]
+                if pj < len(Pj) and rdy_l[idx][pj] <= wake:
+                    break
+            idx = (idx + 1) % n
+            scan += 1
+        c = wake + scan
+
+    if t_cur is not None:  # flush the cached cursor before committing
+        t_cur.free = t_free
+        t_cur.rel_ptr = t_rp
+        t_cur.next_free = t_nf
+    if total == 0 and c == start:
+        return None
+    if total <= 1 and c - start < 8:
+        # A trivial window: committing it (burst bookkeeping, cascade
+        # wake-up accounting) costs more than letting the per-flit loop
+        # move the one packet. Declining is always cycle-neutral, but the
+        # shared cursors must drop this call's pending stage and slot
+        # consumption, or a later plan of the cascade would commit them
+        # under the wrong kernel's identity.
+        for cur in cursors.values():
+            if cur.stage_pkts:
+                cur.stage_pkts = []
+                cur.stage_cycles = []
+                cur.refresh(now)  # nothing committed: re-read = rollback
+        return None
+    # Commit under the planned CK's identity: a cascade runs inside a
+    # *peer's* engine event, but the logical stager of these packets (for
+    # the producer-set tripwire) is this CK's own process.
+    prev_proc = engine._current_proc
+    if ck.proc is not None:
+        engine._current_proc = ck.proc
+    try:
+        sources = []
+        for i in range(n):
+            if takes[i]:
+                inputs[i].take_burst(takes[i], collect=False)
+                sources.append(inputs[i])
+        targets = []
+        for cur in cursors.values():
+            if cur.stage_pkts:
+                cur.target.stage_burst(cur.stage_pkts, cur.stage_cycles,
+                                       verify_occupancy=False)
+                cur.commit_pairings()
+                targets.append(cur.fifo)
+                # The cursor outlives this call (shared per cascade):
+                # hand off the committed run and start a fresh one.
+                cur.stage_pkts = []
+                cur.stage_cycles = []
+    finally:
+        engine._current_proc = prev_proc
+    if total:
+        arbiter.packets_accepted += total
+        hist = arbiter.accept_hist
+        if hist is not None:
+            # Reconstruct global accept order: take cycles strictly
+            # increase within a plan, so merging the per-input sorted
+            # lists recovers the per-flit recording order exactly.
+            for cyc in _heap_merge(*(tk for tk in takes if tk)):
+                hist.record(cyc)
+    return PlanResult(c, idx, mode_reads, total, sources, targets,
+                      blocked_on, starved_on)
+
+
+class SupplyPlanner:
+    """Cascaded co-planning across CK boundaries (one per transport).
+
+    The transport builder wires the producer/consumer CK of every transit
+    FIFO and link (:meth:`wire`); :meth:`plan` then plans the initiating
+    CK's window and cascades: every committed window's targets name
+    downstream CKs whose supply just grew, every window's sources name
+    upstream CKs whose backpressure just eased, and each of those — if
+    parked or sleeping a planned window — gets its next window planned in
+    the same engine event, until the worklist drains or the budget runs
+    out. A standalone CK (unit tests) uses an instance with empty maps,
+    which degrades to exactly the single-CK planner.
+    """
+
+    cascade_budget = CASCADE_BUDGET
+
+    def __init__(self) -> None:
+        self.consumer_ck: dict[int, object] = {}  # id(fifo) -> reading CK
+        self.producer_ck: dict[int, object] = {}  # id(fifo) -> writing CK
+        self._stamp = 0  # plan-call counter (cursor refresh generation)
+
+    def wire(self, fifo, producer=None, consumer=None) -> None:
+        """Declare the CK endpoints of one transit FIFO (builder hook)."""
+        if producer is not None:
+            self.producer_ck[id(fifo)] = producer
+        if consumer is not None:
+            self.consumer_ck[id(fifo)] = consumer
+
+    # ------------------------------------------------------------------
+    # Entry point (CK.process -> PollingArbiter.run -> here)
+    # ------------------------------------------------------------------
+    def plan(self, ck, engine, resume_reads, skip):
+        """Plan the running CK's window, then cascade along the pipeline.
+
+        Returns a truthy value when a window was committed (the arbiter's
+        ``_plan_until``/``_idx``/``_resume_reads`` carry the resume state)
+        or ``None`` when nothing was provable.
+        """
+        memo: dict = {}
+        cursors: dict = {}
+        arb = ck.arbiter
+        stats = arb.planner_stats
+        stats.attempts += 1
+        start = engine.cycle + skip
+        self._stamp += 1
+        res = plan_window(ck, engine, start, resume_reads, memo=memo,
+                          cursors=cursors, stamp=self._stamp)
+        if res is None:
+            return None
+        self._commit(arb, res, start, "window")
+        self._cascade(ck, engine, res, memo, cursors)
+        return True
+
+    def _commit(self, arb, res, start, kind) -> None:
+        arb._idx = res.idx
+        arb._resume_reads = res.resume_reads
+        arb._plan_until = res.end
+        arb._blocked_on = res.blocked_on
+        arb._starved_on = res.starved_on
+        stats = arb.planner_stats
+        stats.window_cycles += res.end - start
+        stats.takes += res.takes
+        if kind == "window":
+            stats.windows += 1
+        elif kind == "extension":
+            stats.extensions += 1
+        else:
+            stats.coplans += 1
+
+    def _peers(self, res):
+        """CKs whose plannable state just changed — and who can use it.
+
+        A consumer of a FIFO the window staged into is worth planning only
+        if it is actually waiting on that supply (its own last window
+        *starved* on the FIFO, or it is parked with nothing better to do);
+        a producer of a FIFO the window took from only if its last window
+        was *blocked* on that FIFO's backpressure. Anything else would be
+        a planning attempt that almost always returns empty-handed.
+        """
+        peers = []
+        for fifo in res.targets:
+            peer = self.consumer_ck.get(id(fifo))
+            if peer is not None:
+                arb = peer.arbiter
+                if arb._starved_on is fifo or arb._resume_state == "parked":
+                    peers.append(peer)
+        for fifo in res.sources:
+            peer = self.producer_ck.get(id(fifo))
+            if peer is not None and peer.arbiter._blocked_on is fifo:
+                peers.append(peer)
+        return peers
+
+    def _cascade(self, origin, engine, first, memo, cursors) -> None:
+        budget = self.cascade_budget
+        queue: deque = deque()
+        queued: set[int] = set()
+
+        def enqueue(peers):
+            for peer in peers:
+                if id(peer) not in queued:
+                    queued.add(id(peer))
+                    queue.append(peer)
+
+        enqueue(self._peers(first))
+        while queue and budget > 0:
+            peer = queue.popleft()
+            queued.discard(id(peer))
+            budget -= 1
+            if peer is origin:
+                res = self._extend(peer, engine, memo, cursors)
+            else:
+                res = self._coplan(peer, engine, memo, cursors)
+            if res is not None and res.takes:
+                enqueue(self._peers(res))
+
+    def _extend(self, ck, engine, memo, cursors):
+        """Stretch the origin's committed window against new information."""
+        arb = ck.arbiter
+        start = arb._plan_until
+        self._stamp += 1
+        res = plan_window(ck, engine, start, arb._resume_reads, memo=memo,
+                          cursors=cursors, stamp=self._stamp)
+        if res is None:
+            return None
+        self._commit(arb, res, start, "extension")
+        return res
+
+    def _coplan(self, peer, engine, memo, cursors):
+        """Plan a peer CK's next window on its behalf, state permitting.
+
+        A CK sleeping a planned window resumes planning from its committed
+        wake ``_plan_until`` (no rescheduling needed — on its old wake it
+        simply sleeps the extension off). A parked CK first needs its
+        per-flit wake-up emulated (first provable readable cycle plus the
+        pointer-scan charge); its planned takes may empty the inputs whose
+        conditions would have woken it, so it gets a firm preempt to the
+        window's end. Any other state (mid per-flit step, blocked inside a
+        forward) is not co-plannable and is left untouched.
+        """
+        arb = peer.arbiter
+        proc = peer.proc
+        if proc is None or proc.finished:
+            return None
+        state = arb._resume_state
+        if state == "window":
+            start = arb._plan_until
+            self._stamp += 1
+            res = plan_window(peer, engine, start, arb._resume_reads,
+                              memo=memo, cursors=cursors, stamp=self._stamp)
+            if res is None:
+                return None
+            self._commit(arb, res, start, "coplan")
+            arb._plan_miss = 0
+            arb._plan_skip = 0
+            if proc._waiting_on is None and res.end > proc._scheduled_for:
+                # Skip the intermediate wake at the old window end: the
+                # extension already covers it (waking there would only
+                # re-sleep to ``_plan_until``).
+                engine.preempt(proc, res.end)
+            return res
+        if state != "parked" or proc._waiting_on is None:
+            return None
+        wake = self._parked_wake(arb, engine, memo)
+        if wake is None:
+            return None
+        start, idx = wake
+        self._stamp += 1
+        res = plan_window(peer, engine, start, -1, idx=idx, memo=memo,
+                          cursors=cursors, stamp=self._stamp)
+        if res is None or not res.takes:
+            return None
+        self._commit(arb, res, start, "coplan")
+        arb._plan_miss = 0
+        arb._plan_skip = 0
+        arb._coplanned = True
+        arb._resume_state = "window"
+        engine.preempt(proc, res.end)
+        return res
+
+    @staticmethod
+    def _parked_wake(arb, engine, memo):
+        """Emulate a parked CK's wake-up: ``(first take cycle, pointer)``.
+
+        Per-flit, the kernel wakes at the first cycle any input turns
+        readable, then charges the scan distance the hardware pointer
+        would have travelled (the pointer was already rotated once when it
+        parked). That wake is provable only if every known head is later
+        than or equal to the earliest one *and* no unknown arrival can
+        beat or tie it on a drained input — the same horizon rule the
+        in-plan park uses. Returns ``None`` when the wake cannot be
+        proved, or when a normal wake is already pending this cycle.
+        """
+        now = engine.cycle
+        inputs = arb.inputs
+        wake = None
+        for f in inputs:
+            if f.present_count:
+                ready = f.earliest_readable()
+                if ready <= now:
+                    return None  # readable already: normal wake imminent
+                if wake is None or ready < wake:
+                    wake = ready
+        if wake is None:
+            return None
+        for f in inputs:
+            if not f.present_count and f.supply_horizon(memo) <= wake:
+                return None
+        idx = arb._idx
+        n = len(inputs)
+        scan = 0
+        while scan < n:
+            f = inputs[idx]
+            if f.present_count and f.earliest_readable() <= wake:
+                break
+            idx = (idx + 1) % n
+            scan += 1
+        return wake + scan, idx
+
+
+#: Default planner for CKs built outside the transport builder (unit
+#: tests, ad-hoc wiring): no cascade peers, pure single-CK planning.
+SOLO_PLANNER = SupplyPlanner()

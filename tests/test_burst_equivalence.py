@@ -25,15 +25,16 @@ def _cfg(burst):
 
 
 def _fifo_counts(engine):
-    """Per-FIFO (pushes, pops) — burst-invariant stats.
+    """Per-FIFO (pushes, pops, max_occupancy) — burst-invariant stats.
 
-    ``max_occupancy`` is deliberately not compared: in burst mode it is a
-    conservative upper bound (a producer's committed window cannot see
-    consumer takes that commit later in wall time but earlier in simulated
-    time), while pushes/pops count every item exactly in both modes.
+    ``max_occupancy`` is computed from a time-indexed delta log of exact
+    per-item cycles in both modes, so comparing it does double duty: it
+    proves the statistic itself and — because any per-item cycle skew
+    would shift the log — that every individual stage and take landed on
+    the per-flit reference cycle.
     """
     return {
-        name: (s["pushes"], s["pops"])
+        name: (s["pushes"], s["pops"], s["max_occupancy"])
         for name, s in engine.fifo_stats().items()
     }
 
@@ -54,7 +55,7 @@ def _run_both(build):
 # ----------------------------------------------------------------------
 # Point-to-point streams
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("hops", [1, 4])
+@pytest.mark.parametrize("hops", [1, 4, 6])
 @pytest.mark.parametrize("n,width", [(40, 4), (1024, 8), (515, 8)])
 def test_p2p_stream_equivalence(hops, n, width):
     data = np.arange(n, dtype=np.float32)
@@ -210,6 +211,175 @@ def test_collective_equivalence(kind):
         expect = [float(sum(r + i for r in range(num_ranks)))
                   for i in range(n)]
         assert fast.store(0, "out") == expect
+
+
+@pytest.mark.parametrize("kind", ["scatter", "gather"])
+def test_scatter_gather_equivalence(kind):
+    """Streaming scatter/gather: the root's interleaved feed/drain loops
+    (burst-batched via the app-side supply contract) must stay
+    cycle-identical to the literal per-flit interleave."""
+    count = 40
+    num_ranks = 4
+
+    def build(config):
+        prog = SMIProgram(noctua_bus(), config=config)
+        op = OpDecl(kind, 0, SMI_FLOAT)
+
+        def kernel(smi):
+            comm = smi.comm_world.sub(list(range(num_ranks)))
+            if not comm.contains(smi.rank):
+                return
+                yield  # pragma: no cover
+            if kind == "scatter":
+                chan = smi.open_scatter_channel(count, SMI_FLOAT, 0, 0, comm)
+                if smi.rank == 0:
+                    values = [float(i) for i in range(count * num_ranks)]
+                    mine = yield from chan.stream_root(values)
+                else:
+                    mine = []
+                    for _ in range(count):
+                        v = yield from chan.pop()
+                        mine.append(float(v))
+                smi.store("mine", [float(v) for v in mine])
+            else:
+                chan = smi.open_gather_channel(count, SMI_FLOAT, 0, 0, comm)
+                mine = [float(smi.rank * 1000 + i) for i in range(count)]
+                if smi.rank == 0:
+                    got = yield from chan.collect_root(mine)
+                    smi.store("got", [float(v) for v in got])
+                else:
+                    for v in mine:
+                        yield from chan.push(v)
+            smi.store("end", smi.cycle)
+
+        prog.add_kernel(kernel, ranks="all", ops=[op])
+        res = prog.run(max_cycles=50_000_000)
+        assert res.completed, res.reason
+        return res
+
+    ref, fast = _run_both(build)
+    for rank in range(num_ranks):
+        assert ref.store(rank, "end") == fast.store(rank, "end")
+    if kind == "scatter":
+        for rank in range(num_ranks):
+            expect = [float(rank * count + i) for i in range(count)]
+            assert fast.store(rank, "mine") == expect
+    else:
+        expect = [float(r * 1000 + i)
+                  for r in range(num_ranks) for i in range(count)]
+        assert fast.store(0, "got") == expect
+
+
+@pytest.mark.parametrize("kind", ["bcast", "scatter"])
+def test_collective_tiny_buffers_equivalence(kind):
+    """Starved endpoint buffers drive the support kernels' burst stream
+    into its unknown-backpressure boundary (send_ep full with no known
+    release mid-run): the fallback to literal element steps must keep
+    cycles exact."""
+    n = 48
+    num_ranks = 3
+
+    def build(config):
+        prog = SMIProgram(
+            noctua_bus(),
+            config=config.with_(endpoint_fifo_depth=1,
+                                endpoint_latency_cycles=1,
+                                inter_ck_fifo_depth=2),
+        )
+        op = OpDecl(kind, 0, SMI_FLOAT)
+
+        def kernel(smi):
+            comm = smi.comm_world.sub(list(range(num_ranks)))
+            if not comm.contains(smi.rank):
+                return
+                yield  # pragma: no cover
+            if kind == "bcast":
+                chan = smi.open_bcast_channel(n, SMI_FLOAT, 0, 0, comm)
+                out = []
+                for i in range(n):
+                    v = yield from chan.bcast(
+                        float(i) if smi.rank == 0 else None)
+                    out.append(float(v))
+                smi.store("out", out)
+            else:
+                chan = smi.open_scatter_channel(n, SMI_FLOAT, 0, 0, comm)
+                if smi.rank == 0:
+                    vals = [float(i) for i in range(n * num_ranks)]
+                    mine = yield from chan.stream_root(vals)
+                else:
+                    mine = []
+                    for _ in range(n):
+                        mine.append(float((yield from chan.pop())))
+                smi.store("out", [float(v) for v in mine])
+            smi.store("end", smi.cycle)
+
+        prog.add_kernel(kernel, ranks="all", ops=[op])
+        res = prog.run(max_cycles=50_000_000)
+        assert res.completed, res.reason
+        return res
+
+    ref, fast = _run_both(build)
+    for rank in range(num_ranks):
+        assert ref.store(rank, "end") == fast.store(rank, "end")
+    if kind == "bcast":
+        assert fast.store(2, "out") == [float(i) for i in range(n)]
+    else:
+        assert fast.store(1, "out") == [float(n + i) for i in range(n)]
+
+
+def test_mixed_stencil_collective_equivalence():
+    """A p2p halo exchange and a broadcast share the fabric in one run:
+    cascaded plans must stay exact with live collective traffic in
+    flight (no static flow-liveness help — every transit FIFO is live)."""
+    n_halo = 96
+    n_bcast = 32
+    num_ranks = 3
+
+    def build(config):
+        prog = SMIProgram(noctua_bus(), config=config)
+
+        def kernel(smi):
+            comm = smi.comm_world.sub(list(range(num_ranks)))
+            if not comm.contains(smi.rank):
+                return
+                yield  # pragma: no cover
+            right = (smi.rank + 1) % num_ranks
+            left = (smi.rank - 1) % num_ranks
+            data = np.full(n_halo, float(smi.rank), dtype=np.float32)
+
+            def exchange():
+                snd = smi.open_send_channel(n_halo, SMI_FLOAT, right, 1)
+                yield from snd.push_vec(data, width=8)
+                rcv = smi.open_recv_channel(n_halo, SMI_FLOAT, left, 1)
+                halo = yield from rcv.pop_vec(n_halo, width=8)
+                smi.store("halo", halo)
+
+            smi.engine.spawn(exchange(), f"halo{smi.rank}")
+            chan = smi.open_bcast_channel(n_bcast, SMI_FLOAT, 0, 0, comm)
+            got = []
+            for i in range(n_bcast):
+                v = yield from chan.bcast(
+                    float(i) if smi.rank == 0 else None)
+                got.append(float(v))
+            smi.store("bcast", got)
+            smi.store("end", smi.cycle)
+
+        prog.add_kernel(
+            kernel, ranks=list(range(num_ranks)),
+            ops=[OpDecl("bcast", 0, SMI_FLOAT),
+                 OpDecl("send", 1, SMI_FLOAT),
+                 OpDecl("recv", 1, SMI_FLOAT)])
+        res = prog.run(max_cycles=50_000_000)
+        assert res.completed, res.reason
+        return res
+
+    ref, fast = _run_both(build)
+    for rank in range(num_ranks):
+        assert ref.store(rank, "end") == fast.store(rank, "end")
+        assert fast.store(rank, "bcast") == [float(i) for i in range(n_bcast)]
+        np.testing.assert_array_equal(
+            fast.store(rank, "halo"),
+            np.full(n_halo, float((rank - 1) % num_ranks), dtype=np.float32))
 
 
 # ----------------------------------------------------------------------

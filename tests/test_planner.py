@@ -1,0 +1,321 @@
+"""Unit tests for the supply-schedule planner subsystem.
+
+Covers the contract primitives (producer registration, sleep horizons,
+process floors, exact occupancy) and the cascade behaviours (co-planning
+across CK boundaries, planner statistics on real transports). The
+cycle-exactness of everything the planner commits is enforced separately
+by ``tests/test_burst_equivalence.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NOCTUA, SMI_FLOAT, SMIProgram, bus, noctua_bus
+from repro.codegen.metadata import OpDecl
+from repro.core.ops import SMI_ADD
+from repro.simulation import Engine, TICK, WaitCycles
+from repro.simulation.engine import FOREVER
+from repro.simulation.stats import (
+    GapHistogram,
+    PlannerStats,
+    collect_planner_stats,
+)
+
+
+# ----------------------------------------------------------------------
+# Supply horizons and process floors
+# ----------------------------------------------------------------------
+def test_supply_horizon_unregistered_is_handoff_latency():
+    eng = Engine()
+    f = eng.fifo("f", capacity=4, latency=3)
+    assert f.supply_horizon() == eng.cycle + 3
+
+
+def test_supply_horizon_flow_dead_is_forever():
+    eng = Engine()
+    f = eng.fifo("f", capacity=4)
+    f.flow_dead = True
+    assert f.supply_horizon() == FOREVER
+
+
+def test_supply_horizon_sleeping_producer():
+    """A producer sleeping on WaitCycles provably stages nothing before
+    its wake, so the horizon is its wake cycle plus the FIFO latency."""
+    eng = Engine()
+    f = eng.fifo("f", capacity=4, latency=2)
+
+    def producer():
+        yield WaitCycles(100)
+        f.stage("late")
+        yield TICK
+
+    proc = eng.spawn(producer(), "producer")
+    f.register_producer(proc)
+
+    horizons = {}
+
+    def observer():
+        yield TICK  # let the producer enter its sleep
+        horizons["at1"] = f.supply_horizon()
+
+    eng.spawn(observer(), "observer")
+    eng.run()
+    assert horizons["at1"] == 100 + 2
+
+
+def test_supply_horizon_finished_producer_is_forever():
+    eng = Engine()
+    f = eng.fifo("f", capacity=4)
+
+    def producer():
+        f.stage("only")
+        yield TICK
+
+    proc = eng.spawn(producer(), "producer")
+    f.register_producer(proc)
+    marks = {}
+
+    def consumer():
+        v = yield from f.pop()
+        marks["v"] = v
+        yield WaitCycles(5)
+        marks["horizon"] = f.supply_horizon()
+
+    eng.spawn(consumer(), "consumer")
+    eng.run()
+    assert marks["v"] == "only"
+    assert marks["horizon"] == FOREVER
+
+
+def test_process_floor_recurses_through_parked_chain():
+    """B parked on a FIFO fed only by sleeping A cannot run before A's
+    wake propagates through the handoff, so a FIFO produced by B gets a
+    transitive producer-sleep horizon."""
+    eng = Engine()
+    a2b = eng.fifo("a2b", capacity=4, latency=2)
+    b2c = eng.fifo("b2c", capacity=4, latency=3)
+
+    def proc_a():
+        yield WaitCycles(50)
+        a2b.stage("x")
+        yield TICK
+
+    def proc_b():
+        v = yield from a2b.pop()
+        while not b2c.writable:
+            yield b2c.can_push
+        b2c.stage(v)
+        yield TICK
+
+    pa = eng.spawn(proc_a(), "A")
+    pb = eng.spawn(proc_b(), "B")
+    a2b.register_producer(pa)
+    b2c.register_producer(pb)
+    marks = {}
+
+    def observer():
+        yield TICK  # A asleep, B parked on a2b.can_pop
+        # B's floor: a2b readable no earlier than 50 + 2.
+        marks["floor_b"] = eng.process_floor(pb)
+        marks["horizon_b2c"] = b2c.supply_horizon()
+
+    eng.spawn(observer(), "observer")
+    eng.run()
+    assert marks["floor_b"] == 52
+    assert marks["horizon_b2c"] == 52 + 3
+
+
+def test_foreign_producer_tripwire():
+    """Once a producer set is registered, a stage from any other process
+    must fail loudly instead of silently invalidating planner horizons."""
+    from repro.core.errors import SimulationError
+
+    eng = Engine()
+    f = eng.fifo("f", capacity=4)
+
+    def legit():
+        f.stage("ok")
+        yield TICK
+
+    def rogue():
+        yield TICK
+        f.stage("bad")
+        yield TICK
+
+    proc = eng.spawn(legit(), "legit")
+    f.register_producer(proc)
+    eng.spawn(rogue(), "rogue")
+    with pytest.raises(SimulationError, match="not in the registered"):
+        eng.run()
+
+
+# ----------------------------------------------------------------------
+# Exact occupancy (time-indexed delta log)
+# ----------------------------------------------------------------------
+def test_max_occupancy_exact_with_future_events():
+    """Burst commits dated in the future count only once the clock
+    reaches them, and same-cycle stage/take events net out."""
+    eng = Engine()
+    f = eng.fifo("f", capacity=8, latency=1)
+    marks = {}
+
+    def producer():
+        f.stage_burst(list(range(4)), [0, 1, 2, 3])
+        marks["at_commit"] = f.max_occupancy  # only cycle-0 stage counts
+        yield WaitCycles(10)
+        marks["later"] = f.max_occupancy
+
+    def consumer():
+        yield WaitCycles(6)
+        # Take two items in the same cycle-span the producer staged them:
+        f.take_burst([6, 7])
+        yield TICK
+
+    eng.spawn(producer(), "p")
+    eng.spawn(consumer(), "c")
+    eng.run()
+    assert marks["at_commit"] == 1
+    assert marks["later"] == 4
+
+
+def test_max_occupancy_same_cycle_netting():
+    eng = Engine()
+    f = eng.fifo("f", capacity=4, latency=1)
+
+    def flow():
+        f.stage("a")          # cycle 0: +1
+        yield TICK
+        f.stage("b")          # cycle 1: +1 (occ 2)
+        yield TICK
+        v = f.take()          # cycle 2: -1 ...
+        assert v == "a"
+        f.stage("c")          # ... and +1 in the same cycle: net 2
+        yield TICK
+
+    eng.spawn(flow(), "flow")
+    eng.run()
+    assert f.max_occupancy == 2
+
+
+# ----------------------------------------------------------------------
+# Cascade behaviour on real transports
+# ----------------------------------------------------------------------
+def _stream_program(hops, n, config):
+    prog = SMIProgram(noctua_bus(), config=config)
+    data = np.zeros(n, dtype=np.float32)
+
+    def snd(smi):
+        ch = smi.open_send_channel(n, SMI_FLOAT, hops, 0)
+        yield from ch.push_vec(data, width=8)
+
+    def rcv(smi):
+        ch = smi.open_recv_channel(n, SMI_FLOAT, 0, 0)
+        yield from ch.pop_vec(n, width=8)
+
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_FLOAT,
+                                             peer=hops)])
+    prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, SMI_FLOAT,
+                                                peer=0)])
+    res = prog.run(max_cycles=10_000_000)
+    assert res.completed, res.reason
+    return res
+
+
+def test_cascade_coplans_multihop_stream():
+    """On a multi-hop stream the cascade must plan across CK boundaries:
+    windows committed for parked/sleeping peer CKs from another CK's
+    engine event."""
+    res = _stream_program(4, 4096, NOCTUA.with_(burst_mode=True))
+    stats = collect_planner_stats(res.transport)
+    assert stats.windows > 0
+    assert stats.coplans > 0, "no cross-CK co-planning happened"
+    assert stats.extensions > 0, "no window was ever extended in-event"
+    assert stats.takes > 4096 // SMI_FLOAT.elements_per_packet
+    assert stats.mean_window > 1.0
+
+
+def test_equivalence_under_tiny_snapshot(monkeypatch):
+    """Truncated snapshots must stay cycle-exact: with more items present
+    beyond the cut, "drained" never means "unreadable", and no horizon
+    (not even a producer-sleep one) may let a plan park past a
+    physically present item. A snapshot depth of 2 forces truncation on
+    every multi-item input."""
+    import repro.transport.planner as planner_mod
+
+    ref = _stream_program(3, 1024, NOCTUA.with_(burst_mode=False))
+    monkeypatch.setattr(planner_mod, "PLAN_SNAPSHOT", 2)
+    fast = _stream_program(3, 1024, NOCTUA.with_(burst_mode=True))
+    assert fast.cycles == ref.cycles
+    ref_occ = {n_: s["max_occupancy"]
+               for n_, s in ref.engine.fifo_stats().items()}
+    fast_occ = {n_: s["max_occupancy"]
+                for n_, s in fast.engine.fifo_stats().items()}
+    assert fast_occ == ref_occ
+
+
+def test_planner_idle_without_burst_mode():
+    res = _stream_program(2, 256, NOCTUA.with_(burst_mode=False))
+    stats = collect_planner_stats(res.transport)
+    assert stats.attempts == 0
+    assert stats.windows == 0
+
+
+def test_collective_workload_planner_hit_rate():
+    """Producer-sleep horizons make collective traffic plannable even
+    though every transit FIFO stays flow-live (runtime communicators):
+    a reduce must see committed windows, not just failed attempts."""
+    n = 256
+    num_ranks = 4
+    prog = SMIProgram(noctua_bus(), config=NOCTUA.with_(burst_mode=True))
+
+    def kernel(smi):
+        comm = smi.comm_world.sub(list(range(num_ranks)))
+        if not comm.contains(smi.rank):
+            return
+            yield  # pragma: no cover
+        chan = smi.open_reduce_channel(n, SMI_FLOAT, SMI_ADD, 0, 0, comm)
+        for i in range(n):
+            yield from chan.reduce(float(smi.rank + i))
+
+    prog.add_kernel(kernel, ranks="all",
+                    ops=[OpDecl("reduce", 0, SMI_FLOAT, reduce_op=SMI_ADD)])
+    res = prog.run(max_cycles=10_000_000)
+    assert res.completed, res.reason
+    stats = collect_planner_stats(res.transport)
+    assert stats.windows > 0, "planner never committed a collective window"
+    assert stats.hit_rate > 0.0
+    assert stats.takes > 0
+
+
+# ----------------------------------------------------------------------
+# Statistics helpers
+# ----------------------------------------------------------------------
+def test_planner_stats_merge_and_rates():
+    a = PlannerStats(attempts=4, windows=2, window_cycles=60, takes=20)
+    b = PlannerStats(attempts=1, windows=1, window_cycles=40, takes=12,
+                     extensions=1, coplans=2)
+    m = a.merge(b)
+    assert m.attempts == 5 and m.windows == 3
+    assert m.hit_rate == pytest.approx(3 / 5)
+    # 3 windows + 1 extension + 2 coplans committed 100 cycles total.
+    assert m.mean_window == pytest.approx(100 / 6)
+    assert PlannerStats().hit_rate == 0.0
+    assert PlannerStats().mean_window == 0.0
+
+
+def test_gap_histogram_percentiles():
+    h = GapHistogram()
+    cycle = 0
+    # 99 gaps of 1, one gap of 50.
+    for _ in range(100):
+        cycle += 1
+        h.record(cycle)
+    h.record(cycle + 50)
+    assert h.p50 == 1
+    assert h.p99 == 1
+    assert h.percentile(1.0) == 50
+    assert h.max_gap == 50
+    with pytest.raises(ValueError):
+        GapHistogram().percentile(0.5)
+    with pytest.raises(ValueError):
+        h.percentile(1.5)
