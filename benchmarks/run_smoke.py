@@ -10,10 +10,13 @@ script:
   wall-clock seconds per mode;
 * per point: the burst/per-flit speedup plus the burst planner's
   counters (window hit rate, mean committed window length, cascade
-  co-plans), so the supply-schedule plane's effectiveness is tracked in
-  the perf trajectory alongside raw speed;
-* headline: per-hop-count speedups at the largest stream size and the
-  collective planner hit rates.
+  co-plans, pattern-replication hit rate and mean train length), so the
+  supply-schedule plane's effectiveness is tracked in the perf
+  trajectory alongside raw speed;
+* headline: per-hop-count speedups at the largest stream size, their
+  replication hit rates, and the collective planner hit rates.
+
+Every field is documented in ``benchmarks/README.md``.
 
 Usage::
 
@@ -134,6 +137,10 @@ def build_headline(points):
                 p["planner"]["hit_rate"]
             headline[f"planner_mean_window_{p['hops']}hop"] = \
                 p["planner"]["mean_window"]
+            headline[f"replication_hit_rate_{p['hops']}hop"] = \
+                p["planner"]["replication_hit_rate"]
+            headline[f"mean_train_rounds_{p['hops']}hop"] = \
+                p["planner"]["mean_train_rounds"]
     for kind in ("bcast", "reduce"):
         coll = [p for p in points if p["kind"] == kind]
         if coll:
@@ -185,7 +192,9 @@ def main(argv=None) -> int:
               f"speedup={p['speedup']:.2f}x  "
               f"hit={planner['hit_rate']:.2f} "
               f"meanwin={planner['mean_window']:.1f} "
-              f"coplans={planner['coplans']}")
+              f"coplans={planner['coplans']} "
+              f"trains={planner['replications']} "
+              f"meantrain={planner['mean_train_rounds']:.1f}")
     print(f"headline: {report['headline']}")
     print(f"wrote {out}")
     if not report["headline"]["all_cycle_exact"]:

@@ -199,6 +199,59 @@ class ReduceChannel(CollectiveChannel):
             return result
         return None
 
+    def reduce_stream(self, values) -> Generator:
+        """Contribute all ``count`` elements as one stream.
+
+        The root interleaves its contribution with draining the reduced
+        elements (the same concurrent feed/drain requirement as
+        :meth:`ScatterChannel.stream_root` — a sequential root must not
+        rely on the support kernel's finite buffers, §3.3) and returns
+        the reduced elements in order; non-roots stream their
+        contribution and return ``None``. In burst mode whole runs of
+        elements are committed against the collective FIFOs' supply and
+        slot schedules in single engine events, so the application side
+        stops rate-limiting the support kernels' batched combine loop.
+        Cycle counts are identical in both modes.
+        """
+        values = list(values)
+        if len(values) != self.count:
+            raise ChannelError(
+                f"reduce_stream needs exactly count = {self.count} "
+                f"elements, got {len(values)}"
+            )
+        if self._pushed:
+            raise MessageOverrunError(
+                "reduce_stream on a channel that already contributed "
+                f"{self._pushed} element(s)"
+            )
+        want = self.count if self.is_root else 0
+        if self._burst:
+            out = yield from self._stream_interleave_burst(values, want)
+            return out if self.is_root else None
+        out: list = []
+        pushed = 0
+        total = self.count
+        while pushed < total or len(out) < want:
+            want_push = pushed < total
+            want_pop = len(out) < want
+            if want_push and self.app_in.writable:
+                self.app_in.stage(values[pushed])
+                pushed += 1
+                self._pushed += 1
+                yield TICK
+            elif want_pop and self.app_out.readable:
+                out.append(self.app_out.take())
+                self._popped += 1
+                yield TICK
+            else:
+                conds = []
+                if want_push:
+                    conds.append(self.app_in.can_push)
+                if want_pop:
+                    conds.append(self.app_out.can_pop)
+                yield tuple(conds)
+        return out if self.is_root else None
+
 
 class ScatterChannel(CollectiveChannel):
     """``SMI_Open_scatter_channel`` with streaming push/pop."""

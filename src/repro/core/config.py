@@ -86,6 +86,16 @@ class HardwareConfig:
         by ``tests/test_burst_equivalence.py``); only wall-clock simulation
         speed changes. Default on; turn off to A/B against the literal
         per-flit interpretation.
+    pattern_replication:
+        Enable steady-state pattern replication inside the burst planner
+        (:mod:`repro.transport.planner`): when consecutive committed
+        windows of one CK are Δ-shifted copies of each other, further
+        rounds are validated against live supply/slot state and committed
+        in bulk instead of re-running the full polling simulation per
+        round. Like ``burst_mode`` it never changes cycle counts (the
+        equivalence suite covers it); it only changes simulator
+        wall-clock. Only meaningful with ``burst_mode`` on. Turn off to
+        A/B the replication plane in isolation.
     record_accepts:
         Opt-in arbiter instrumentation: when True every CKS/CKR polling
         arbiter keeps a bounded histogram of inter-accept gaps (see
@@ -106,6 +116,7 @@ class HardwareConfig:
     max_ranks: int = 256
     max_ports: int = 256
     burst_mode: bool = True
+    pattern_replication: bool = True
     record_accepts: bool = False
 
     def __post_init__(self) -> None:

@@ -56,6 +56,11 @@ def _snapshot_planner_stats(transport, out: dict | None) -> None:
         takes=stats.takes,
         hit_rate=round(stats.hit_rate, 4),
         mean_window=round(stats.mean_window, 2),
+        pattern_checks=stats.pattern_checks,
+        replications=stats.replications,
+        replicated_rounds=stats.replicated_rounds,
+        replication_hit_rate=round(stats.replication_hit_rate, 4),
+        mean_train_rounds=round(stats.mean_train_rounds, 2),
     )
 
 

@@ -52,6 +52,41 @@ visible before the earliest producer wake plus the FIFO latency
 (producer-sleep horizons); without one, the bound degrades to
 ``now + latency``; flow-dead FIFOs are empty forever.
 
+Reserved slots and the pairing count
+------------------------------------
+
+Two private fields carry the slot economy between burst takes and the
+planners' future stages; their invariants are load-bearing for everything
+in :mod:`repro.transport.planner`:
+
+``_reserved``
+    The release cycles (non-decreasing) of slots a burst consumer took
+    *ahead of the wall clock*: the item left the FIFO at commit time, but
+    the slot stays occupied until its per-flit take cycle so producers
+    observe the exact per-flit ``writable`` trajectory. Entries are
+    appended by ``take_burst`` (whose cycle runs are monotone per the
+    single-consumer ordering tripwire) and trimmed from the front as the
+    clock passes them (:meth:`_trim_reserved`), waking blocked producers
+    through the commit calendar.
+
+``_reserved_paired``
+    How many *leading* ``_reserved`` entries a producer's committed plan
+    has already paired a future stage against. A planner may commit a
+    stage at ``release + 1`` long before the wall clock reaches the
+    release; without this count the *next* plan's :meth:`slot_plan` would
+    hand the same slot out twice. Invariants: paired entries are always
+    the oldest (pairing consumes releases strictly in order);
+    ``0 <= _reserved_paired <= len(_reserved)``; the count survives
+    across engine events and drains together with the releases it covers
+    (:meth:`_trim_reserved` decrements both in step); and
+    :meth:`slot_plan` both excludes paired releases from the offered
+    schedule *and* adds their double-counted slot back into the free
+    budget (the reservation and the future-dated staged item paired to it
+    otherwise both occupy). Only
+    :meth:`repro.transport.planner._TargetCursor.commit_pairings`
+    advances it, and only at commit time — speculative plans that roll
+    back never touch it.
+
 Both sides assume the single-producer / single-consumer wiring the SMI
 transport uses everywhere: per-item cycles are computed under the invariant
 that free space only grows and visibility only advances during a planned

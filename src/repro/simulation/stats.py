@@ -126,12 +126,22 @@ class GapHistogram:
 
         Computed from the bounded per-value counters, so percentiles stay
         available without keeping the raw per-event list around.
+
+        Raises
+        ------
+        ValueError
+            If ``q`` is outside ``(0, 1]``, or if the histogram is empty
+            (fewer than two events recorded — a single event defines no
+            gap, so every percentile is undefined).
         """
         if not 0.0 < q <= 1.0:
             raise ValueError(f"percentile fraction must be in (0, 1]: {q}")
         total = self.count
         if not total:
-            raise ValueError("no gaps recorded")
+            raise ValueError(
+                "percentile of an empty GapHistogram: no gaps recorded "
+                "(at least two events are needed to define a gap)"
+            )
         need = q * total
         running = 0
         for gap in sorted(self.counts):
@@ -189,6 +199,13 @@ class PlannerStats:
     ``coplans`` are windows planned *for* this CK by a peer CK's cascade
     while this CK was parked or sleeping. ``window_cycles``/``takes``
     cover every committed window regardless of who planned it.
+
+    The steady-state replication plane adds three counters:
+    ``pattern_checks`` counts the times a confirmed periodic pattern was
+    tried against live supply/slot state, ``replications`` the times at
+    least one round was committed from it, and ``replicated_rounds`` the
+    total number of Δ-shifted pattern rounds committed in bulk (the sum
+    of all train lengths).
     """
 
     attempts: int = 0
@@ -197,6 +214,9 @@ class PlannerStats:
     takes: int = 0
     extensions: int = 0
     coplans: int = 0
+    pattern_checks: int = 0
+    replications: int = 0
+    replicated_rounds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -206,8 +226,21 @@ class PlannerStats:
     @property
     def mean_window(self) -> float:
         """Mean committed window length in cycles."""
-        committed = self.windows + self.extensions + self.coplans
+        committed = (self.windows + self.extensions + self.coplans
+                     + self.replications)
         return self.window_cycles / committed if committed else 0.0
+
+    @property
+    def replication_hit_rate(self) -> float:
+        """Replicated trains committed per confirmed-pattern attempt."""
+        return (self.replications / self.pattern_checks
+                if self.pattern_checks else 0.0)
+
+    @property
+    def mean_train_rounds(self) -> float:
+        """Mean committed train length, in pattern rounds per train."""
+        return (self.replicated_rounds / self.replications
+                if self.replications else 0.0)
 
     def merge(self, other: "PlannerStats") -> "PlannerStats":
         return PlannerStats(
@@ -217,6 +250,9 @@ class PlannerStats:
             self.takes + other.takes,
             self.extensions + other.extensions,
             self.coplans + other.coplans,
+            self.pattern_checks + other.pattern_checks,
+            self.replications + other.replications,
+            self.replicated_rounds + other.replicated_rounds,
         )
 
 

@@ -18,11 +18,46 @@ The arbiter below reproduces that behaviour cycle-by-cycle:
   readable input, so the timing is identical to literal polling.
 
 In burst mode the loop's full resume state lives on the arbiter object
-(``_idx``, ``_resume_reads``, ``_plan_until``, ``_resume_state``) rather
-than in generator locals, so the supply-schedule planner
+rather than in generator locals, so the supply-schedule planner
 (:mod:`repro.transport.planner`) can plan windows for this kernel from a
 *peer's* engine event — extending a sleeping kernel's window, or waking a
 parked one with its next window already committed (``_coplanned``).
+
+Resume-state fields (the contract between this loop and the planner):
+
+``_idx``
+    The hardware polling pointer: index of the input the *next* poll
+    inspects. Every committed window stores the pointer position the
+    per-flit loop would have reached at the window's end, so per-flit
+    resumption and later plans start from the identical rotation state.
+``_resume_reads``
+    ``-1`` when the next poll opens a FRESH round; ``>= 0`` when an
+    R-round on ``inputs[_idx]`` is still open with that many reads done
+    (a window may end mid-round — e.g. at an unknown-supply boundary —
+    and the round's remaining budget must survive the resume).
+``_plan_until``
+    Absolute end cycle of the last committed window. While it lies in
+    the future the loop sleeps it off in one event; peers' cascades move
+    it further while this kernel sleeps. Committed takes/stages never
+    extend past it, so state at ``_plan_until`` is exactly per-flit.
+``_resume_state``
+    What the kernel is doing *right now*: ``"run"`` (mid per-flit step —
+    not co-plannable), ``"window"`` (sleeping off a committed window —
+    extendable from ``_plan_until``), or ``"parked"`` (blocked on a
+    wait-any of all inputs — co-plannable after an emulated wake-up).
+``_coplanned`` / ``_blocked_on`` / ``_starved_on``
+    Cross-event mailboxes: a peer's cascade marks a parked kernel whose
+    wake it pre-planned, and every window records which FIFO's unknown
+    backpressure or supply ended it, so the cascade only re-plans peers
+    whose blocker actually changed.
+``_pattern`` / ``_pattern_hist`` / ``_pattern_phase`` / ``_pattern_end``
+    The steady-state replication plane: the confirmed
+    :class:`~repro.transport.planner.WindowPattern` (or ``None``), the
+    recent contiguous window signatures the detector folds periods out
+    of, the index of the next window expected in a live pattern's
+    cycle, and the absolute cycle the pattern's last committed round
+    ends at — replication only ever continues a pattern contiguously
+    from ``_pattern_end`` at phase 0.
 """
 
 from __future__ import annotations
@@ -47,7 +82,9 @@ class PollingArbiter:
                  "_wait_conds", "accept_hist", "_plan_miss", "_plan_skip",
                  "_plan_skip_len", "_resume_reads", "_plan_until",
                  "_resume_state", "_coplanned", "_blocked_on",
-                 "_starved_on", "planner_stats")
+                 "_starved_on", "_pattern", "_pattern_hist",
+                 "_pattern_phase", "_pattern_end", "_rep_miss",
+                 "_rep_skip", "_rep_skip_len", "planner_stats")
 
     #: Consecutive planner misses before backing off, and how many polls
     #: to skip planning for once backed off — doubling on every repeat up
@@ -83,6 +120,17 @@ class PollingArbiter:
         self._coplanned = False       # a peer planned our window while parked
         self._blocked_on = None       # fifo backpressure that ended the last
         self._starved_on = None       # window / the input that starved it
+        self._pattern = None          # confirmed WindowPattern (or None)
+        self._pattern_hist: list = []  # recent (signature, end) windows
+        self._pattern_phase = 0       # next expected window in the cycle
+        self._pattern_end = 0         # absolute end of the pattern's train
+        # Replication futility backoff (SupplyPlanner._note_train): when
+        # recent trains keep committing single rounds, the saturated
+        # steady state has nothing for replication to amortise — skip
+        # the attempts (and the trace/signature tax) for a while.
+        self._rep_miss = 0
+        self._rep_skip = 0
+        self._rep_skip_len = 64
         self.planner_stats = PlannerStats()
 
     def record_accept(self, cycle: int) -> None:

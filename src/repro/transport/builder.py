@@ -348,12 +348,13 @@ def build_transport(
         # the per-flit reference interpretation stays free of the analysis
         # (and its tripwires).
         _mark_flow_liveness(plan, ranks, transit)
-        _wire_supply_planner(ranks)
+        _wire_supply_planner(ranks, config)
 
     return Transport(config=config, routes=routes, fabric=fabric, ranks=ranks)
 
 
-def _wire_supply_planner(ranks: dict[int, RankTransport]):
+def _wire_supply_planner(ranks: dict[int, RankTransport],
+                         config: HardwareConfig):
     """Publish the transport's supply-schedule contracts (burst mode only).
 
     Three facts the planner consumes are static properties of the wiring,
@@ -373,8 +374,11 @@ def _wire_supply_planner(ranks: dict[int, RankTransport]):
     App-written endpoints (p2p send endpoints, collective ``app_in`` /
     ``ctrl``) stay unregistered: kernels may push from helper processes
     the metadata cannot see, so their producer sets are not closed.
+
+    ``config.pattern_replication`` gates the planner's steady-state
+    replication plane for the whole cluster.
     """
-    sp = SupplyPlanner()
+    sp = SupplyPlanner(replication=config.pattern_replication)
     for rt in ranks.values():
         for rank_cks in rt.cks.values():
             rank_cks.supply_planner = sp

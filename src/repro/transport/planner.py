@@ -44,6 +44,31 @@ extended against the freed slots, and so on along the pipeline — one
 engine event plans a multi-hop stream end-to-end. Parked consumers get a
 firm wake (:meth:`Engine.preempt`) since their planned takes may empty the
 very FIFOs whose conditions would have woken them.
+
+**Steady-state pattern replication.** Every committed window carries a
+decision trace; when a CK's recent windows turn out to be exact Δ-shifted
+repeats of each other (:meth:`SupplyPlanner._observe`, up to
+``PATTERN_MAX_PERIOD`` window shapes per period), the compiled
+:class:`WindowPattern` replaces the planning *search* with straight-line
+*verification*: :func:`replicate_train` replays pattern rounds against
+live committed state, ping-pongs sessions across producer/consumer CKs
+(validated stages become the next hop's virtual supply, validated takes
+the previous hop's virtual slot releases) and bulk-commits whole trains
+with one ``take_burst``/``stage_burst`` pair per FIFO and one firm wake
+per sleeping peer. Everything is re-proved from committed facts, so
+cycle-exactness holds by the same argument as :func:`plan_window`; any
+deviation ends the train at the last valid round and planning resumes.
+When the per-event information quantum (buffer depths, the app's
+injection cadence) keeps trains at a single round — where replication
+saves nothing over the planner — a futility backoff quiesces the whole
+plane, traces included, until a multi-round catch-up regime (accumulated
+link inventories, post-stall drains) re-arms it.
+
+All of the planner's cross-event state lives on the
+:class:`~repro.transport.arbiter.PollingArbiter` (``_idx`` /
+``_resume_reads`` / ``_plan_until`` / ``_resume_state`` and the
+``_pattern*`` fields); see that module's docstring for the field-by-field
+contract.
 """
 
 from __future__ import annotations
@@ -66,6 +91,12 @@ PLAN_SNAPSHOT = 16
 
 #: Total co-plan / extension attempts per cascade (per initiating event).
 CASCADE_BUDGET = 64
+
+#: Longest window sequence the pattern detector folds into one round: a
+#: steady state may cycle through several distinct window shapes (a full
+#: R-round window, then the partial window that drains an injection's
+#: tail) before repeating.
+PATTERN_MAX_PERIOD = 3
 
 
 class _TargetCursor:
@@ -132,10 +163,10 @@ class PlanResult:
     """One committed window: resume state plus the FIFOs it touched."""
 
     __slots__ = ("end", "idx", "resume_reads", "takes", "sources", "targets",
-                 "blocked_on", "starved_on")
+                 "blocked_on", "starved_on", "trace")
 
     def __init__(self, end, idx, resume_reads, takes, sources, targets,
-                 blocked_on, starved_on):
+                 blocked_on, starved_on, trace=None):
         self.end = end                    # absolute cycle the window covers
         self.idx = idx                    # arbiter pointer at resume
         self.resume_reads = resume_reads  # -1 fresh, >= 0 mid-R-round
@@ -144,6 +175,7 @@ class PlanResult:
         self.targets = targets            # FIFOs staged into (links: theirs)
         self.blocked_on = blocked_on      # fifo whose backpressure ended it
         self.starved_on = starved_on      # input whose unknown supply did
+        self.trace = trace                # (ops, obs) for pattern detection
 
 
 #: Horizon sentinel for truncated snapshots: more items exist physically
@@ -195,7 +227,7 @@ def _silent_hz(ck, f, cycle):
 
 
 def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
-                cursors=None, stamp=0):
+                cursors=None, stamp=0, trace=False):
     """Multi-round burst planner: one provable window for one CK.
 
     Simulates :meth:`PollingArbiter.run`'s per-flit state machine forward
@@ -216,6 +248,19 @@ def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
     current wall state, which is exactly what is provable. Returns a
     :class:`PlanResult` or ``None`` when nothing could be proved (the
     caller then falls back to one per-flit step).
+
+    With ``trace=True`` the committed window also carries a decision
+    trace on ``PlanResult.trace`` for the pattern detector: ``ops`` — one
+    ``(take_cycle, input_idx, stage_cycle, target)`` per accepted packet
+    in global take order — and ``obs`` — every readability observation
+    the polling simulation made on a cycle it did *not* take from that
+    input (``(cycle, input_idx, was_readable)``). Together they are a
+    complete record of the window's decision-relevant state: replaying a
+    Δ-shifted copy is cycle-exact iff every op re-validates (supply,
+    routing, slots) and every observation re-holds at the shifted cycle.
+    Parks are traced as their wake race: known heads provably unreadable
+    the cycle before the wake, drained inputs silent through it, and the
+    scan's stop input readable exactly at it.
     """
     arbiter = ck.arbiter
     inputs = arbiter.inputs
@@ -241,6 +286,11 @@ def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
     starved_on = None  # input whose unknown supply ended the plan
     if memo is None:
         memo = {}
+    # Decision trace for the pattern detector (see docstring): the target
+    # cursor of every take in order, plus every negative/positive
+    # readability observation (scan charges, R-round ends, park races).
+    trace_tgts = [] if trace else None
+    trace_obs: list = []
 
     def starved(j, at):
         """Is drained input ``j`` of unknowable readability by ``at``?
@@ -295,8 +345,14 @@ def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
                     if starved(idx, c):
                         ended = True  # unknown readability: stop in ROUND
                         starved_on = inputs[idx]
+                    elif trace_tgts is not None:
+                        # Round ended on a provably silent drained input:
+                        # a replica must re-prove the silence here.
+                        trace_obs.append((c, idx, False))
                     break
                 if R[p] > c:
+                    if trace_tgts is not None:
+                        trace_obs.append((c, idx, False))
                     break  # head not visible: the R-round ends here
                 pkt = P[p]
                 key = (pkt.dst << 8) | pkt.port
@@ -352,6 +408,8 @@ def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
                 tk.append(c)
                 t_sc.append(s)
                 t_sp.append(pkt)
+                if trace_tgts is not None:
+                    trace_tgts.append(t_cur)
                 total += 1
                 p += 1
                 c = s + 1
@@ -374,13 +432,19 @@ def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
                 rdy = rdy_l[j][pj]
                 if rdy <= c:
                     any_r = True
+                    if trace_tgts is not None:
+                        trace_obs.append((c, j, True))
                     break
                 if wake is None or rdy < wake:
                     wake = rdy
+                if trace_tgts is not None:
+                    trace_obs.append((c, j, False))
             elif starved(j, c):
                 ended = True  # cannot even decide "anything readable?"
                 starved_on = inputs[j]
                 break
+            elif trace_tgts is not None:
+                trace_obs.append((c, j, False))
         if ended:
             break
         if any_r:
@@ -398,6 +462,21 @@ def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
                 break
         if wake is None:
             break
+        if trace_tgts is not None:
+            # A park's wake is a *race* on future visibility: it lands at
+            # ``wake`` exactly because no input shows anything earlier
+            # (strictly: known heads at or after ``wake``, drained inputs
+            # silent through ``wake`` inclusive — a tie from an unknown
+            # arrival could shorten the scan). Record the race so a
+            # replica re-proves it at the shifted cycles: known heads
+            # unreadable at ``wake - 1``, drained inputs unreadable at
+            # ``wake`` itself.
+            w1 = wake - 1
+            for j in range(n):
+                if ptr[j] < len(pkts_l[j]):
+                    trace_obs.append((w1, j, False))
+                else:
+                    trace_obs.append((wake, j, False))
         idx = (idx + 1) % n  # per-flit rotates before parking
         scan = 0
         while scan < n:
@@ -405,7 +484,13 @@ def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
             if Pj:
                 pj = ptr[idx]
                 if pj < len(Pj) and rdy_l[idx][pj] <= wake:
+                    if trace_tgts is not None:
+                        # The wake-up scan's stop input: readable at wake.
+                        trace_obs.append((wake, idx, True))
                     break
+            if trace_tgts is not None:
+                # Scanned past: provably unreadable at the wake cycle.
+                trace_obs.append((wake, idx, False))
             idx = (idx + 1) % n
             scan += 1
         c = wake + scan
@@ -429,6 +514,26 @@ def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
                 cur.stage_cycles = []
                 cur.refresh(now)  # nothing committed: re-read = rollback
         return None
+    # Assemble the decision trace before the commit clears the cursors'
+    # stage lists. Global take order is recovered by sorting the merged
+    # per-input take cycles (cycles strictly increase within a window),
+    # which aligns 1:1 with the order targets were recorded in.
+    trace_out = None
+    if trace_tgts is not None and total:
+        merged = []
+        for i in range(n):
+            tki = takes[i]
+            if tki:
+                merged.extend((tc, i) for tc in tki)
+        merged.sort()
+        sc_ptr: dict = {}
+        ops = []
+        for (tc, i), cur in zip(merged, trace_tgts):
+            ci = id(cur)
+            pi = sc_ptr.get(ci, 0)
+            ops.append((tc, i, cur.stage_cycles[pi], cur.target))
+            sc_ptr[ci] = pi + 1
+        trace_out = (ops, trace_obs)
     # Commit under the planned CK's identity: a cascade runs inside a
     # *peer's* engine event, but the logical stager of these packets (for
     # the producer-set tripwire) is this CK's own process.
@@ -464,7 +569,606 @@ def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
             for cyc in _heap_merge(*(tk for tk in takes if tk)):
                 hist.record(cyc)
     return PlanResult(c, idx, mode_reads, total, sources, targets,
-                      blocked_on, starved_on)
+                      blocked_on, starved_on, trace_out)
+
+
+class WindowPattern:
+    """A confirmed periodic window shape, compiled for bulk replication.
+
+    Built by :meth:`SupplyPlanner._observe` once two consecutive,
+    contiguous committed windows of one CK turn out to be exact Δ-shifted
+    copies of each other (same relative take/stage/charge structure, same
+    arbiter state at both window boundaries). The compiled form is a
+    single cycle-sorted event list per round:
+
+    * ``(rel_c, 0, j, rel_s, target)`` — take input ``j``'s head at
+      ``start + rel_c``, stage it into ``target`` at ``start + rel_s``;
+    * ``(rel_c, 1, j, 0, None)`` — the polling loop *observed* input
+      ``j`` unreadable at ``start + rel_c`` (an empty-poll scan charge,
+      or the early end of an R-round); a replica must re-prove the
+      silence — known head not yet visible, or drained below every
+      supply horizon;
+    * ``(rel_c, 2, j, 0, None)`` — input ``j`` was the readable witness
+      that turned a scan into a rotation instead of a park; a replica
+      must re-prove the head visible by then.
+
+    Replication (:func:`replicate_window`) replays rounds of this list
+    against *live* committed state only — real present items, real slot
+    schedules, real horizons — so a committed train is cycle-exact by the
+    same argument as :func:`plan_window`; the pattern merely replaces the
+    polling-loop search with a straight-line verification.
+    """
+
+    __slots__ = ("delta", "idx0", "reads0", "events", "n_takes",
+                 "inputs_used", "takes_per_input", "target_fifos", "sigs")
+
+    def __init__(self, delta, idx0, reads0, ops_rel, obs_rel,
+                 sigs=()) -> None:
+        self.sigs = sigs  # the window signatures one round cycles through
+        self.delta = delta    # round length in cycles
+        self.idx0 = idx0      # arbiter pointer at every round boundary
+        self.reads0 = reads0  # open R-round reads at every round boundary
+        self.n_takes = len(ops_rel)
+        # Observation dedupe. Between two consecutive takes on input j
+        # (a *span*) the head is fixed, so of all "unreadable at X"
+        # observations only the latest binds (ready > X_max implies the
+        # rest) and of all "readable by X" witnesses only the earliest.
+        # Raw traces carry one obs per scanned input per rotation/park
+        # cycle; spans compress that to at most two checks each.
+        takes_seen: dict = {}
+        u_max: dict = {}  # (j, span) -> max rel cycle of 'u' obs
+        r_min: dict = {}  # (j, span) -> min rel cycle of 'r' obs
+        merged = [(rel_t, 0, j, rel_s, tgt)
+                  for (rel_t, j, rel_s, tgt) in ops_rel]
+        merged.extend((rel_c, 2 if readable else 1, j, 0, None)
+                      for (rel_c, j, readable) in obs_rel)
+        merged.sort(key=lambda e: (e[0], e[1]))
+        for ev in merged:
+            rel_c, kind, j = ev[0], ev[1], ev[2]
+            if kind == 0:
+                takes_seen[j] = takes_seen.get(j, 0) + 1
+            else:
+                key = (j, takes_seen.get(j, 0))
+                if kind == 1:
+                    if rel_c > u_max.get(key, -1):
+                        u_max[key] = rel_c
+                else:
+                    if rel_c < r_min.get(key, delta + 1):
+                        r_min[key] = rel_c
+        events = [ev for ev in merged if ev[1] == 0]
+        events.extend((rel_c, 1, j, 0, None)
+                      for (j, _s), rel_c in u_max.items())
+        events.extend((rel_c, 2, j, 0, None)
+                      for (j, _s), rel_c in r_min.items())
+        events.sort(key=lambda e: (e[0], e[1]))
+        self.events = tuple(events)
+        used = {ev[2] for ev in events}
+        self.inputs_used = tuple(sorted(used))
+        # Per-round supply demand and the set of staged-into FIFOs, for
+        # the O(inputs) round precheck and the train's dirty-wiring.
+        self.takes_per_input = tuple(
+            (j, takes_seen[j]) for j in sorted(takes_seen))
+        tfifos = []
+        for (_t, _j, _s, tgt) in ops_rel:
+            fifo = tgt.fifo if isinstance(tgt, Link) else tgt
+            if fifo not in tfifos:
+                tfifos.append(fifo)
+        self.target_fifos = tuple(tfifos)
+
+
+def _compile_pattern(entries):
+    """Fold ``p`` contiguous window signatures into one round's pattern.
+
+    Each signature's relative cycles are offset by the cumulative length
+    of the windows before it, so the compiled round replays the whole
+    period in one validation pass; the signatures themselves are kept so
+    later ``plan_window`` commits can be matched against the cycle
+    (``SupplyPlanner._observe`` phase tracking).
+    """
+    sigs = tuple(sig for sig, _end in entries)
+    delta = 0
+    ops: list = []
+    obs: list = []
+    for sig in sigs:
+        w_delta, _sidx, _sreads, _eidx, _ereads, ops_rel, obs_rel = sig
+        ops.extend((t + delta, j, s + delta, tgt)
+                   for (t, j, s, tgt) in ops_rel)
+        obs.extend((c + delta, j, r) for (c, j, r) in obs_rel)
+        delta += w_delta
+    return WindowPattern(delta, sigs[0][1], sigs[0][2], tuple(ops),
+                         tuple(obs), sigs)
+
+
+class _ReplicaSession:
+    """Per-CK state of one replication train (see :func:`replicate_train`).
+
+    Holds the CK's full input inventory snapshot (extended in place as
+    peer sessions publish their tentative stages), the validated-round
+    accumulators, and the per-round accept cycles — everything needed to
+    bulk-commit the session at train end. ``done`` marks a session whose
+    last failure was a *shape divergence* (routing change, a stall
+    landing off-pattern early, a silence observation broken by an
+    already-visible item): no amount of further train progress can
+    un-fail those, unlike slot or supply exhaustion.
+    """
+
+    __slots__ = ("ck", "arb", "pattern", "start", "T", "snap_items",
+                 "snap_ready", "snap_iter", "ptr", "avail", "take_cycles",
+                 "all_takes", "rounds", "takes", "blocked_on", "starved_on",
+                 "hz_cache", "stage_cursors", "done", "dirty", "last_fail")
+
+    def __init__(self, ck, pattern, start, now) -> None:
+        self.ck = ck
+        self.arb = ck.arbiter
+        self.pattern = pattern
+        self.start = start
+        self.T = start  # next round's base cycle
+        inputs = self.arb.inputs
+        # Lazy committed-inventory snapshots: items are pulled from the
+        # FIFO's present iterator only as validation reaches them, so a
+        # short train against a deep link inventory never materialises
+        # the whole bandwidth-delay product.
+        self.snap_items: dict = {}
+        self.snap_ready: dict = {}
+        self.snap_iter: dict = {}
+        self.ptr: dict = {}
+        self.avail: dict = {}  # un-taken items per input (count precheck)
+        for j in pattern.inputs_used:
+            self.snap_items[j] = []
+            self.snap_ready[j] = []
+            self.snap_iter[j] = inputs[j].iter_present()
+            self.ptr[j] = 0
+            self.avail[j] = inputs[j].present_count
+        self.take_cycles: dict = {j: [] for j in pattern.inputs_used}
+        self.all_takes: list = []
+        self.rounds = 0
+        self.takes = 0
+        self.blocked_on = None
+        self.starved_on = None
+        self.hz_cache: dict = {}
+        self.stage_cursors: dict = {}  # id(cursor) -> cursor (this CK's)
+        self.done = False
+        self.dirty = True       # something changed since the last failure
+        self.last_fail = None   # (event, X, detail) of the last failure
+
+    def ensure(self, j, k) -> bool:
+        """Extend input ``j``'s snapshot to >= ``k`` items if they exist."""
+        items = self.snap_items[j]
+        if len(items) >= k:
+            return True
+        it = self.snap_iter[j]
+        if it is None:
+            return False  # committed side drained; only feeds extend now
+        ready = self.snap_ready[j]
+        for item, r in it:
+            items.append(item)
+            ready.append(r)
+            if len(items) >= k:
+                return True
+        self.snap_iter[j] = None
+        return False
+
+    def feed(self, j, pkt, ready) -> None:
+        """Append a peer session's validated stage as virtual supply."""
+        it = self.snap_iter[j]
+        if it is not None:
+            # FIFO order: every committed item precedes the train's
+            # stages, so the lazy iterator must drain first.
+            items = self.snap_items[j]
+            rdy = self.snap_ready[j]
+            for item, r in it:
+                items.append(item)
+                rdy.append(r)
+            self.snap_iter[j] = None
+        self.snap_items[j].append(pkt)
+        self.snap_ready[j].append(ready)
+        self.avail[j] += 1
+
+
+#: Safety bound on coordinator sweeps per train (each sweep advances at
+#: least one session by one round, so real trains end far earlier).
+TRAIN_SWEEP_LIMIT = 4096
+
+#: Optional diagnostics hook: a callable invoked once per finished train
+#: with the session list (tests and ad-hoc profiling; None in production).
+_train_debug = None
+
+
+def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
+    """Co-replicate confirmed patterns along a pipeline and bulk-commit.
+
+    The train starts from ``ck``'s confirmed pattern at ``start`` and
+    validates Δ-shifted rounds against *live committed state only* — the
+    full input inventories (no snapshot truncation: replication consumes
+    facts, so a deep link FIFO replicates its whole bandwidth-delay
+    product in one call), the shared cascade cursors' slot budgets with
+    the exact :func:`plan_window` stall formula, and the supply horizons
+    (with the self-silence retry) for every silence observation.
+
+    When a session's round fails on *slot exhaustion* in a FIFO whose
+    consumer CK also has a live, contiguous pattern — or on *supply
+    exhaustion* in a FIFO whose producer CK does — that peer joins the
+    train as its own session, and the sessions ping-pong: a validated
+    round's stages are published to the consumer session as virtual
+    supply (the exact items with their exact visibility cycles), its
+    takes to the producer's cursor as virtual slot releases. This is
+    sound for the same reason the cascade is: everything published will
+    be committed before any other process runs, with exactly the cycles
+    it was validated at. A round whose computed schedule deviates from
+    its pattern by even one cycle is rolled back and never committed;
+    :func:`plan_window` handles the deviation exactly on the next visit.
+
+    At train end every session bulk-commits — all stages first (so
+    cross-session takes find their items), then all takes — one
+    ``stage_burst``/``take_burst`` pair per FIFO for the whole train,
+    with persistent slot pairing on ``Fifo._reserved_paired`` and a
+    single firm wake (:meth:`Engine.preempt`) per sleeping peer.
+
+    Returns the origin's :class:`PlanResult` (or ``None`` if the origin
+    proved no full round); peer sessions' results are appended to
+    ``planner._extra_results`` for the cascade to fan out from.
+    """
+    now = engine.cycle
+    origin = _ReplicaSession(ck, ck.arbiter._pattern, start, now)
+    sessions: dict = {id(ck): origin}
+    order = [origin]
+    feeds: dict = {}    # id(fifo) -> (consumer session, its input index)
+    stager: dict = {}   # id(fifo) -> session whose pattern stages into it
+    v_rels: dict = {}   # id(fifo) -> virtual release cycles (train takes)
+    v_items: dict = {}  # id(fifo) -> [(pkt, ready)] validated train stages
+    cursor_fifo: dict = {}  # id(fifo) -> live cursor staging into it
+
+    def hook_inputs(sess) -> None:
+        inputs = sess.arb.inputs
+        for j in sess.pattern.inputs_used:
+            fifo = inputs[j]
+            feeds[id(fifo)] = (sess, j)
+            # Stages other sessions validated before this one joined are
+            # not in the committed snapshot yet: replay them.
+            pend = v_items.get(id(fifo))
+            if pend:
+                for pkt, r in pend:
+                    sess.feed(j, pkt, r)
+        for fifo in sess.pattern.target_fifos:
+            stager[id(fifo)] = sess
+
+    hook_inputs(origin)
+
+    def try_join(peer) -> None:
+        """Add a peer CK's session if its pattern can continue the train.
+
+        Sleeping-window peers join like a co-plan would; the cascade's
+        *origin* CK may join even in the ``"run"`` state — it is inside
+        its own planner call right now and re-reads ``_plan_until`` the
+        moment control returns, exactly as after a cascade extension.
+        """
+        if peer is None or id(peer) in sessions:
+            return
+        arb = peer.arbiter
+        pat = arb._pattern
+        proc = peer.proc
+        state_ok = (arb._resume_state == "window"
+                    or peer is planner._cascade_origin)
+        if (pat is None or proc is None or proc.finished
+                or not state_ok
+                or arb._plan_until != arb._pattern_end
+                or arb._pattern_phase != 0
+                or arb._idx != pat.idx0
+                or arb._resume_reads != pat.reads0):
+            return
+        # Cheap demand precheck before building any session state: the
+        # peer's first round needs its full take counts from committed
+        # items plus whatever the train has already published. A peer
+        # rejected here is retried on every later failure of the session
+        # that wanted it, by which time more may have been published.
+        inputs = arb.inputs
+        for j, need in pat.takes_per_input:
+            f = inputs[j]
+            if f.present_count + len(v_items.get(id(f), ())) < need:
+                return
+        sess = _ReplicaSession(peer, pat, arb._plan_until, now)
+        sessions[id(peer)] = sess
+        order.append(sess)
+        hook_inputs(sess)  # also replays earlier sessions' virtual items
+
+    def publish_stage(fifo, pkt, s) -> None:
+        ready = s + fifo.latency
+        v_items.setdefault(id(fifo), []).append((pkt, ready))
+        hooked = feeds.get(id(fifo))
+        if hooked is not None:
+            sess, j = hooked
+            sess.feed(j, pkt, ready)
+            sess.dirty = True  # new supply may unblock a starved round
+
+    def publish_take(fifo, x) -> None:
+        v_rels.setdefault(id(fifo), []).append(x)
+        cur = cursor_fifo.get(id(fifo))
+        if cur is not None:
+            cur.rels.append(x)
+        peer = stager.get(id(fifo))
+        if peer is not None:
+            peer.dirty = True  # a freed slot may unblock a blocked round
+
+    def validate_round(sess) -> bool:
+        ck_s = sess.ck
+        inputs = sess.arb.inputs
+        avail = sess.avail
+        # O(inputs) demand precheck: a round needs its full take count
+        # per input (committed plus already-published virtual supply) —
+        # without it, walking the events just to fail is wasted work.
+        for j, need in sess.pattern.takes_per_input:
+            if avail[j] < need:
+                sess.starved_on = inputs[j]
+                sess.blocked_on = None
+                sess.last_fail = ('precheck', j, need, avail[j])
+                return False
+        route = ck_s._route
+        route_memo = ck_s._route_memo
+        snap_items = sess.snap_items
+        snap_ready = sess.snap_ready
+        ptr = sess.ptr
+        T = sess.T
+        ok = True
+        fail = None
+        fatal = False          # shape divergence: never retry
+        saves: dict = {}       # id(cursor) -> (cursor, free, rel_ptr, nf)
+        stage_buf: dict = {}   # id(cursor) -> (cursor, [pkts], [cycles])
+        round_takes: list = []  # (input_idx, fifo, take_cycle) event order
+        round_stages: list = []  # (fifo, pkt, stage_cycle) in event order
+        for ev in sess.pattern.events:
+            rel_c, kind, j, rel_s, target = ev
+            X = T + rel_c
+            if kind == 0:
+                p = ptr[j]
+                if not sess.ensure(j, p + 1) or snap_ready[j][p] > X:
+                    sess.starved_on = inputs[j]
+                    sess.blocked_on = None
+                    fail = ('take-starved', j, X,
+                            snap_ready[j][p] if p < len(snap_items[j])
+                            else None)
+                    ok = False
+                    break
+                pkt = snap_items[j][p]
+                key = (pkt.dst << 8) | pkt.port
+                out = route_memo.get(key)
+                if out is None:
+                    try:
+                        out = route(pkt)
+                    except RoutingError:
+                        # plan_window stops here too; the per-flit path
+                        # raises at this exact cycle after the fallback.
+                        fail = ('route-error', j, X, None)
+                        ok = False
+                        fatal = True
+                        break
+                    route_memo[key] = out
+                if out is not target:
+                    fail = ('target-mismatch', j, X, None)
+                    ok = False  # traffic shape changed: not this pattern
+                    fatal = True
+                    break
+                cid = id(out)
+                cur = cursors.get(cid)
+                if cur is None:
+                    cur = cursors[cid] = _TargetCursor(out, now, stamp)
+                    fresh = True
+                elif cur.stamp != stamp:
+                    cur.refresh(now)
+                    cur.stamp = stamp
+                    fresh = True
+                else:
+                    fresh = False
+                if fresh:
+                    # First touch in this train: graft the virtual
+                    # releases other sessions already validated.
+                    pend = v_rels.get(id(cur.fifo))
+                    if pend:
+                        cur.rels = cur.rels + pend
+                    cursor_fifo[id(cur.fifo)] = cur
+                if cid not in saves:
+                    saves[cid] = (cur, cur.free, cur.rel_ptr, cur.next_free)
+                # Exact plan_window stall model; the outcome must land on
+                # the pattern's relative stage cycle or the round is off.
+                s = cur.next_free if (cur.is_link and cur.next_free > X) \
+                    else X
+                if cur.free > 0:
+                    cur.free -= 1
+                elif cur.rel_ptr < len(cur.rels):
+                    floor = cur.rels[cur.rel_ptr] + 1
+                    cur.rel_ptr += 1
+                    if floor > s:
+                        s = floor
+                else:
+                    sess.blocked_on = cur.fifo
+                    sess.starved_on = None
+                    fail = ('no-slot', j, X, cur.fifo.name)
+                    ok = False
+                    break
+                expected = T + rel_s
+                if s != expected:
+                    if s > expected:
+                        sess.blocked_on = cur.fifo  # stall worsened
+                        sess.starved_on = None
+                    else:
+                        fatal = True  # a stall the pattern had vanished
+                    fail = ('stage-cycle', j, X, (s, expected))
+                    ok = False
+                    break
+                if cur.is_link:
+                    cur.next_free = s + cur.pace
+                buf = stage_buf.get(cid)
+                if buf is None:
+                    buf = stage_buf[cid] = (cur, [], [])
+                buf[1].append(pkt)
+                buf[2].append(s)
+                ptr[j] = p + 1
+                round_takes.append((j, inputs[j], X))
+                round_stages.append((cur.fifo, pkt, s))
+            elif kind == 1:
+                # Pattern polled this input and found it unreadable: the
+                # replica must re-prove it. With items (real or virtual)
+                # present the head's visibility is exact; drained inputs
+                # need a horizon past X (retrying under self-silence).
+                p = ptr[j]
+                if sess.ensure(j, p + 1):
+                    if snap_ready[j][p] <= X:
+                        fail = ('early-arrival', j, X, snap_ready[j][p])
+                        ok = False  # an arrival beat the pattern's rhythm
+                        fatal = True
+                        break
+                else:
+                    hz = sess.hz_cache.get(j)
+                    if hz is None:
+                        hz = sess.hz_cache[j] = \
+                            inputs[j].supply_horizon(memo)
+                    if hz <= X and _silent_hz(ck_s, inputs[j], X) <= X:
+                        sess.starved_on = inputs[j]
+                        sess.blocked_on = None
+                        fail = ('no-horizon', j, X, hz)
+                        ok = False
+                        break
+            else:  # kind == 2: the readable witness of a rotation
+                p = ptr[j]
+                if not sess.ensure(j, p + 1) or snap_ready[j][p] > X:
+                    sess.starved_on = inputs[j]
+                    sess.blocked_on = None
+                    fail = ('witness-missing', j, X,
+                            snap_ready[j][p] if p < len(snap_items[j])
+                            else None)
+                    ok = False
+                    break
+        if not ok:
+            # Roll the failed round back: cursor budgets to their
+            # round-start state, input pointers past validated takes only.
+            for cur, free, rel_ptr, nf in saves.values():
+                cur.free = free
+                cur.rel_ptr = rel_ptr
+                cur.next_free = nf
+            for j, _f, _x in round_takes:
+                ptr[j] -= 1
+            if fatal:
+                sess.done = True
+            sess.last_fail = fail
+            return False
+        for cid, (cur, pkts, cycles) in stage_buf.items():
+            cur.stage_pkts.extend(pkts)
+            cur.stage_cycles.extend(cycles)
+            sess.stage_cursors[cid] = cur
+        for j, fifo, x in round_takes:
+            sess.take_cycles[j].append(x)
+            sess.all_takes.append(x)
+            avail[j] -= 1
+            publish_take(fifo, x)
+        for fifo, pkt, s in round_stages:
+            publish_stage(fifo, pkt, s)
+        sess.takes += sess.pattern.n_takes
+        sess.rounds += 1
+        sess.T += sess.pattern.delta
+        sess.blocked_on = None
+        sess.starved_on = None
+        return True
+
+    # ---- ping-pong: sweep sessions until no round makes progress.
+    # A failed session goes quiet (``dirty = False``) until a peer's
+    # validated round publishes supply or slots it depends on, so stuck
+    # sessions cost nothing while the rest of the train advances. ------
+    sweeps = 0
+    progress = True
+    while progress and sweeps < TRAIN_SWEEP_LIMIT:
+        sweeps += 1
+        progress = False
+        for sess in order:
+            if sess.done or not sess.dirty or \
+                    sess.takes + sess.pattern.n_takes > PLAN_MAX_TAKES:
+                continue
+            if validate_round(sess):
+                progress = True
+            else:
+                sess.dirty = False
+                if sess.blocked_on is not None:
+                    try_join(planner.consumer_ck.get(id(sess.blocked_on)))
+                elif sess.starved_on is not None:
+                    try_join(planner.producer_ck.get(id(sess.starved_on)))
+
+    committed = [sess for sess in order if sess.rounds]
+    if not committed:
+        return None
+    # ---- bulk commit: all stages first (cross-session takes must find
+    # their items), then all takes; each stage run under its CK's own
+    # identity for the producer-set tripwire. -------------------------
+    prev_proc = engine._current_proc
+    try:
+        for sess in committed:
+            if sess.ck.proc is not None:
+                engine._current_proc = sess.ck.proc
+            for cur in sess.stage_cursors.values():
+                if cur.stage_pkts:
+                    cur.target.stage_burst(cur.stage_pkts, cur.stage_cycles,
+                                           verify_occupancy=False)
+                    cur.commit_pairings()
+                    cur.stage_pkts = []
+                    cur.stage_cycles = []
+        for sess in committed:
+            inputs = sess.arb.inputs
+            for j in sess.pattern.inputs_used:
+                tc = sess.take_cycles[j]
+                if tc:
+                    inputs[j].take_burst(tc, collect=False)
+    finally:
+        engine._current_proc = prev_proc
+    # ---- per-session resume state, stats, and wakes --------------------
+    origin_res = None
+    for sess in committed:
+        arb = sess.arb
+        pattern = sess.pattern
+        inputs = sess.arb.inputs
+        sources = [inputs[j] for j in pattern.inputs_used
+                   if sess.take_cycles[j]]
+        targets = [cur.fifo for cur in sess.stage_cursors.values()]
+        res = PlanResult(sess.T, pattern.idx0, pattern.reads0, sess.takes,
+                         sources, targets, sess.blocked_on,
+                         sess.starved_on)
+        arb.packets_accepted += sess.takes
+        hist = arb.accept_hist
+        if hist is not None:
+            for cyc in sess.all_takes:
+                hist.record(cyc)
+        stats = arb.planner_stats
+        stats.replications += 1
+        stats.replicated_rounds += sess.rounds
+        stats.window_cycles += res.end - sess.start
+        stats.takes += sess.takes
+        planner._note_train(arb, sess.rounds)
+        arb._idx = res.idx
+        arb._resume_reads = res.resume_reads
+        arb._plan_until = res.end
+        arb._blocked_on = res.blocked_on
+        arb._starved_on = res.starved_on
+        arb._pattern_end = res.end  # the pattern stays live past the train
+        if sess is origin:
+            origin_res = res
+        else:
+            stats.pattern_checks += 1  # a train visit counts as a check
+            arb._plan_miss = 0
+            arb._plan_skip = 0
+            proc = sess.ck.proc
+            if sess.ck is not planner._cascade_origin \
+                    and proc._waiting_on is None \
+                    and res.end > proc._scheduled_for:
+                # Skip the intermediate wake at the old window end, like
+                # a co-plan would. The cascade origin needs no preempt:
+                # it is inside its own planner call and re-reads
+                # ``_plan_until`` the moment control returns.
+                engine.preempt(proc, res.end)
+            planner._extra_results.append(res)
+    # Every session is stuck by construction when the sweep loop ends;
+    # only a plan_window commit can change that within this cascade.
+    stuck = planner._train_stuck
+    for sess in order:
+        stuck.add(id(sess.ck))
+    if _train_debug is not None:
+        _train_debug(order)
+    return origin_res
 
 
 class SupplyPlanner:
@@ -479,14 +1183,50 @@ class SupplyPlanner:
     the same engine event, until the worklist drains or the budget runs
     out. A standalone CK (unit tests) uses an instance with empty maps,
     which degrades to exactly the single-CK planner.
+
+    **Steady-state pattern replication** (``replication=True``, the
+    default; gated by ``HardwareConfig.pattern_replication`` through the
+    builder). Every committed window carries a decision trace;
+    :meth:`_observe` compares consecutive, contiguous windows of each CK
+    and compiles a :class:`WindowPattern` when two of them are exact
+    Δ-shifted copies with identical arbiter boundary state. From then on
+    every planning opportunity for that CK — its own event, a cascade
+    extension, a co-plan — first tries :func:`replicate_window`, which
+    replays pattern rounds against live committed state and bulk-commits
+    the train; :func:`plan_window` remains the fallback for everything
+    the pattern cannot prove (drifted supply, partial tail rounds, shape
+    changes — any of which also retires the pattern until a new one
+    confirms). This is how the per-call exchange quantum stops being the
+    multi-hop bottleneck: amortising the planning search across long
+    steady-state trains, exactly as the paper's pipelined SMI_Push/Pop
+    channels amortise per-message control overhead in hardware.
     """
 
     cascade_budget = CASCADE_BUDGET
 
-    def __init__(self) -> None:
+    #: Futility backoff: a train committing fewer than REP_GOOD_ROUNDS
+    #: rounds saved nothing over the window planner (the per-event
+    #: information quantum was the bound, not planning speed); after
+    #: REP_MISS_LIMIT such trains the CK skips replication — and the
+    #: whole trace/signature tax — for a doubling number of planning
+    #: opportunities, up to REP_SKIP_MAX. Catch-up regimes (accumulated
+    #: link inventories, post-stall drains) commit multi-round trains,
+    #: which reset the backoff immediately.
+    REP_GOOD_ROUNDS = 2
+    REP_MISS_LIMIT = 2
+    REP_SKIP_MAX = 4096
+
+    def __init__(self, replication: bool = True) -> None:
         self.consumer_ck: dict[int, object] = {}  # id(fifo) -> reading CK
         self.producer_ck: dict[int, object] = {}  # id(fifo) -> writing CK
+        self.replication = replication
         self._stamp = 0  # plan-call counter (cursor refresh generation)
+        self._extra_results: list = []  # peer-session train results
+        self._cascade_origin = None     # CK whose event we are inside
+        # CKs whose last train this cascade ended with every session
+        # stuck: a retry is pointless until a plan_window commit changes
+        # supply or slots somewhere (cleared on every such commit).
+        self._train_stuck: set[int] = set()
 
     def wire(self, fifo, producer=None, consumer=None) -> None:
         """Declare the CK endpoints of one transit FIFO (builder hook)."""
@@ -503,24 +1243,42 @@ class SupplyPlanner:
 
         Returns a truthy value when a window was committed (the arbiter's
         ``_plan_until``/``_idx``/``_resume_reads`` carry the resume state)
-        or ``None`` when nothing was provable.
+        or ``None`` when nothing was provable. A confirmed steady-state
+        pattern is tried first; the full planning simulation runs only
+        when replication proves nothing.
         """
         memo: dict = {}
         cursors: dict = {}
         arb = ck.arbiter
         stats = arb.planner_stats
-        stats.attempts += 1
         start = engine.cycle + skip
-        self._stamp += 1
-        res = plan_window(ck, engine, start, resume_reads, memo=memo,
-                          cursors=cursors, stamp=self._stamp)
-        if res is None:
-            return None
-        self._commit(arb, res, start, "window")
-        self._cascade(ck, engine, res, memo, cursors)
-        return True
+        self._cascade_origin = ck
+        self._train_stuck.clear()
+        # Peer-session results only matter to this event's cascade; a
+        # previous event that planned nothing must not leak its trains'
+        # results into ours.
+        self._extra_results.clear()
+        try:
+            if self.replication:
+                rep = self._try_replicate(ck, engine, start, resume_reads,
+                                          arb._idx, memo, cursors)
+                if rep is not None:
+                    self._cascade(ck, engine, rep, memo, cursors)
+                    return True
+            stats.attempts += 1
+            self._stamp += 1
+            res = plan_window(ck, engine, start, resume_reads, memo=memo,
+                              cursors=cursors, stamp=self._stamp,
+                              trace=self.replication and not arb._rep_skip)
+            if res is None:
+                return None
+            self._commit(arb, res, start, "window", arb._idx, resume_reads)
+            self._cascade(ck, engine, res, memo, cursors)
+            return True
+        finally:
+            self._cascade_origin = None
 
-    def _commit(self, arb, res, start, kind) -> None:
+    def _commit(self, arb, res, start, kind, sidx, sreads) -> None:
         arb._idx = res.idx
         arb._resume_reads = res.resume_reads
         arb._plan_until = res.end
@@ -535,6 +1293,109 @@ class SupplyPlanner:
             stats.extensions += 1
         else:
             stats.coplans += 1
+        if self.replication:
+            self._train_stuck.clear()  # new supply/slots: trains may move
+            if res.trace is not None or arb._pattern is not None \
+                    or arb._pattern_hist:
+                self._observe(arb, res, start, sidx, sreads)
+            else:
+                # Quiesced (futility backoff): untraced window, no live
+                # pattern, empty history — just track the frontier.
+                arb._pattern_end = res.end
+
+    # ------------------------------------------------------------------
+    # Pattern detection and replication
+    # ------------------------------------------------------------------
+    def _observe(self, arb, res, start, sidx, sreads) -> None:
+        """Feed one committed window into the CK's pattern detector.
+
+        A pattern confirms when the last ``p`` committed windows
+        (``p <= PATTERN_MAX_PERIOD``) are an exact Δ-shifted repeat of
+        the ``p`` before them, all contiguous — the steady state may
+        cycle through several window shapes per period (e.g. a full
+        R-round window then the injection tail's partial window).
+        Boundary-state closure is automatic: contiguous windows inherit
+        the arbiter state the previous window ended in, so equal
+        signatures one period apart imply the round re-enters its own
+        start state. A live pattern survives as long as further windows
+        continue its cycle (tracked by ``_pattern_phase``); any
+        deviation retires it and detection starts over from history.
+        """
+        trace = res.trace
+        hist = arb._pattern_hist
+        if trace is None or res.end <= start or not trace[0]:
+            hist.clear()
+            arb._pattern = None
+            arb._pattern_end = res.end
+            return
+        ops_abs, obs_abs = trace
+        ops_rel = tuple((tc - start, j, sc - start, tgt)
+                        for (tc, j, sc, tgt) in ops_abs)
+        obs_rel = tuple((c - start, j, r) for (c, j, r) in obs_abs)
+        sig = (res.end - start, sidx, sreads, res.idx, res.resume_reads,
+               ops_rel, obs_rel)
+        pat = arb._pattern
+        if pat is not None:
+            phase = arb._pattern_phase
+            if start == arb._pattern_end and sig == pat.sigs[phase]:
+                arb._pattern_phase = (phase + 1) % len(pat.sigs)
+            else:
+                arb._pattern = None
+        if hist and hist[-1][1] != start:
+            hist.clear()  # non-contiguous: history restarts here
+        hist.append((sig, res.end))
+        if len(hist) > 2 * PATTERN_MAX_PERIOD:
+            del hist[0]
+        arb._pattern_end = res.end
+        if arb._pattern is None:
+            for p in range(1, PATTERN_MAX_PERIOD + 1):
+                if len(hist) >= 2 * p and all(
+                        hist[i - p][0] == hist[i - 2 * p][0]
+                        for i in range(p)):
+                    arb._pattern = _compile_pattern(hist[-p:])
+                    arb._pattern_phase = 0
+                    break
+
+    def _try_replicate(self, ck, engine, start, reads, idx, memo, cursors):
+        """Replicate the CK's confirmed pattern from ``start``, if any.
+
+        Only applicable when the window would begin exactly at the
+        pattern's committed end in exactly the boundary state the pattern
+        cycles through — otherwise the periodicity argument does not
+        apply and the planner must search. On success the whole train
+        (including any co-replicated peer sessions) is already committed;
+        peer results await the cascade in ``_extra_results``.
+        """
+        arb = ck.arbiter
+        if arb._rep_skip:
+            arb._rep_skip -= 1
+            return None
+        pat = arb._pattern
+        if pat is None or start != arb._pattern_end \
+                or arb._pattern_phase != 0 \
+                or reads != pat.reads0 or idx != pat.idx0 \
+                or id(ck) in self._train_stuck:
+            return None
+        arb.planner_stats.pattern_checks += 1
+        self._stamp += 1
+        res = replicate_train(self, ck, engine, start, memo, cursors,
+                              self._stamp)
+        if res is None:
+            self._note_train(arb, 0)
+        return res
+
+    def _note_train(self, arb, rounds) -> None:
+        """Update the futility backoff after a train (or failed attempt)."""
+        if rounds >= self.REP_GOOD_ROUNDS:
+            arb._rep_miss = 0
+            arb._rep_skip_len = 64
+            return
+        arb._rep_miss += 1
+        if arb._rep_miss >= self.REP_MISS_LIMIT:
+            arb._rep_miss = 0
+            arb._rep_skip = arb._rep_skip_len
+            if arb._rep_skip_len < self.REP_SKIP_MAX:
+                arb._rep_skip_len *= 2
 
     def _peers(self, res):
         """CKs whose plannable state just changed — and who can use it.
@@ -570,7 +1431,17 @@ class SupplyPlanner:
                     queued.add(id(peer))
                     queue.append(peer)
 
+        def drain_extras():
+            # Peer sessions committed by a replication train: their
+            # blockers changed too, so their peers join the worklist.
+            extras = self._extra_results
+            if extras:
+                self._extra_results = []
+                for r in extras:
+                    enqueue(self._peers(r))
+
         enqueue(self._peers(first))
+        drain_extras()
         while queue and budget > 0:
             peer = queue.popleft()
             queued.discard(id(peer))
@@ -581,17 +1452,26 @@ class SupplyPlanner:
                 res = self._coplan(peer, engine, memo, cursors)
             if res is not None and res.takes:
                 enqueue(self._peers(res))
+            drain_extras()
 
     def _extend(self, ck, engine, memo, cursors):
         """Stretch the origin's committed window against new information."""
         arb = ck.arbiter
         start = arb._plan_until
+        sidx = arb._idx
+        sreads = arb._resume_reads
+        if self.replication:
+            rep = self._try_replicate(ck, engine, start, sreads, sidx,
+                                      memo, cursors)
+            if rep is not None:
+                return rep
         self._stamp += 1
-        res = plan_window(ck, engine, start, arb._resume_reads, memo=memo,
-                          cursors=cursors, stamp=self._stamp)
+        res = plan_window(ck, engine, start, sreads, memo=memo,
+                          cursors=cursors, stamp=self._stamp,
+                          trace=self.replication and not arb._rep_skip)
         if res is None:
             return None
-        self._commit(arb, res, start, "extension")
+        self._commit(arb, res, start, "extension", sidx, sreads)
         return res
 
     def _coplan(self, peer, engine, memo, cursors):
@@ -613,12 +1493,21 @@ class SupplyPlanner:
         state = arb._resume_state
         if state == "window":
             start = arb._plan_until
-            self._stamp += 1
-            res = plan_window(peer, engine, start, arb._resume_reads,
-                              memo=memo, cursors=cursors, stamp=self._stamp)
+            sidx = arb._idx
+            sreads = arb._resume_reads
+            res = None
+            if self.replication:
+                res = self._try_replicate(peer, engine, start, sreads,
+                                          sidx, memo, cursors)
             if res is None:
-                return None
-            self._commit(arb, res, start, "coplan")
+                self._stamp += 1
+                res = plan_window(peer, engine, start, sreads, memo=memo,
+                                  cursors=cursors, stamp=self._stamp,
+                                  trace=self.replication
+                                  and not arb._rep_skip)
+                if res is None:
+                    return None
+                self._commit(arb, res, start, "coplan", sidx, sreads)
             arb._plan_miss = 0
             arb._plan_skip = 0
             if proc._waiting_on is None and res.end > proc._scheduled_for:
@@ -635,10 +1524,11 @@ class SupplyPlanner:
         start, idx = wake
         self._stamp += 1
         res = plan_window(peer, engine, start, -1, idx=idx, memo=memo,
-                          cursors=cursors, stamp=self._stamp)
+                          cursors=cursors, stamp=self._stamp,
+                          trace=self.replication and not arb._rep_skip)
         if res is None or not res.takes:
             return None
-        self._commit(arb, res, start, "coplan")
+        self._commit(arb, res, start, "coplan", idx, -1)
         arb._plan_miss = 0
         arb._plan_skip = 0
         arb._coplanned = True

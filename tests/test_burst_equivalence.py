@@ -454,6 +454,148 @@ def test_two_senders_error_cycle_equivalence():
     assert fast.store(2, "caught") == ref.store(2, "caught")
 
 
+def test_reduce_stream_equivalence():
+    """``ReduceChannel.reduce_stream``: the app-side batched contribution
+    (and the root's interleaved drain) must be cycle-identical to the
+    literal per-element interleave, in both data-plane modes."""
+    n = 96
+    num_ranks = 4
+
+    def build(config):
+        prog = SMIProgram(noctua_bus(), config=config)
+        op = OpDecl("reduce", 0, SMI_FLOAT, reduce_op=SMI_ADD)
+
+        def kernel(smi):
+            comm = smi.comm_world.sub(list(range(num_ranks)))
+            if not comm.contains(smi.rank):
+                return
+                yield  # pragma: no cover
+            chan = smi.open_reduce_channel(n, SMI_FLOAT, SMI_ADD, 0, 0, comm)
+            mine = [float(smi.rank + i) for i in range(n)]
+            out = yield from chan.reduce_stream(mine)
+            if smi.rank == 0:
+                smi.store("out", [float(v) for v in out])
+            smi.store("end", smi.cycle)
+
+        prog.add_kernel(kernel, ranks="all", ops=[op])
+        res = prog.run(max_cycles=50_000_000)
+        assert res.completed, res.reason
+        return res
+
+    ref, fast = _run_both(build)
+    for rank in range(num_ranks):
+        assert ref.store(rank, "end") == fast.store(rank, "end")
+    expect = [float(sum(r + i for r in range(num_ranks))) for i in range(n)]
+    assert fast.store(0, "out") == expect
+
+
+# ----------------------------------------------------------------------
+# Steady-state pattern replication
+# ----------------------------------------------------------------------
+def _stream_cycles(config, n, hops, stall_at=None, stall_for=0):
+    """One p2p stream run; returns (cycles, aggregate PlannerStats)."""
+    from repro.simulation.stats import collect_planner_stats
+
+    prog = SMIProgram(noctua_bus(), config=config)
+    data = np.arange(n, dtype=np.float32)
+    marks = {}
+
+    def snd(smi):
+        ch = smi.open_send_channel(n, SMI_FLOAT, hops, 0)
+        if stall_at is None:
+            yield from ch.push_vec(data, width=8)
+        else:
+            yield from ch.push_vec(data[:stall_at], width=8)
+            yield smi.wait(stall_for)
+            yield from ch.push_vec(data[stall_at:], width=8)
+
+    def rcv(smi):
+        ch = smi.open_recv_channel(n, SMI_FLOAT, 0, 0)
+        out = yield from ch.pop_vec(n, width=8)
+        marks["out"] = out
+        marks["end"] = smi.cycle
+
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_FLOAT,
+                                             peer=hops)])
+    prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, SMI_FLOAT,
+                                                peer=0)])
+    res = prog.run(max_cycles=50_000_000)
+    assert res.completed, res.reason
+    np.testing.assert_array_equal(marks["out"], data)
+    return marks["end"], collect_planner_stats(res.transport)
+
+
+def test_replication_delta_drift_mid_train():
+    """A mid-stream sender stall breaks the steady-state Δ-shift exactly
+    where a train would be replicating: the pattern must fail validation
+    at the drift (k < K rounds), fall back to the window planner, and
+    stay cycle-exact end to end."""
+    n = 4096
+    stall = dict(stall_at=2048, stall_for=137)
+    ref, _ = _stream_cycles(_cfg(False), n, 4, **stall)
+    fast, stats = _stream_cycles(_cfg(True), n, 4, **stall)
+    assert fast == ref
+    # The long steady phases on either side of the drift do replicate.
+    assert stats.replications > 0
+
+
+def test_replication_across_parked_ck():
+    """Steady-state replication on a long multi-hop stream (mid-pipeline
+    CKs park between link-paced packets; their park races replicate as
+    pattern observations). Cycle-exact, with committed trains."""
+    n = 4096
+    ref, _ = _stream_cycles(_cfg(False), n, 4)
+    fast, stats = _stream_cycles(_cfg(True), n, 4)
+    assert fast == ref
+    assert stats.replications > 0
+    assert stats.replicated_rounds >= stats.replications
+
+
+def test_replication_disabled_stays_exact_and_silent():
+    """``pattern_replication=False`` must keep the burst plane cycle-exact
+    (the --fail-below-parity CI workloads run both ways) and commit zero
+    trains, with identical cycles to the replication-enabled plane."""
+    n = 2048
+    cfg_off = _cfg(True).with_(pattern_replication=False)
+    ref, _ = _stream_cycles(_cfg(False), n, 4)
+    off, stats_off = _stream_cycles(cfg_off, n, 4)
+    on, _ = _stream_cycles(_cfg(True), n, 4)
+    assert off == ref == on
+    assert stats_off.replications == 0
+    assert stats_off.pattern_checks == 0
+
+
+def test_replication_disabled_collective_parity():
+    """Collective workloads (the parity-gated smoke kind) stay cycle-exact
+    with replication on, off, and per-flit."""
+    n = 128
+    num_ranks = 4
+
+    def run(config):
+        prog = SMIProgram(noctua_bus(), config=config)
+        op = OpDecl("reduce", 0, SMI_FLOAT, reduce_op=SMI_ADD)
+        marks = {}
+
+        def kernel(smi):
+            comm = smi.comm_world.sub(list(range(num_ranks)))
+            if not comm.contains(smi.rank):
+                return
+                yield  # pragma: no cover
+            chan = smi.open_reduce_channel(n, SMI_FLOAT, SMI_ADD, 0, 0, comm)
+            for i in range(n):
+                yield from chan.reduce(float(smi.rank + i))
+            marks[smi.rank] = smi.cycle
+
+        prog.add_kernel(kernel, ranks="all", ops=[op])
+        res = prog.run(max_cycles=50_000_000)
+        assert res.completed, res.reason
+        return max(marks.values())
+
+    ref = run(_cfg(False))
+    assert run(_cfg(True)) == ref
+    assert run(_cfg(True).with_(pattern_replication=False)) == ref
+
+
 # ----------------------------------------------------------------------
 # Raw FIFO burst helpers
 # ----------------------------------------------------------------------

@@ -1,0 +1,34 @@
+"""Docs lint as part of tier-1: keep the architecture doc navigable.
+
+Runs the same checks as the CI docs job (``tools/check_docs.py``):
+internal anchors of ``docs/ARCHITECTURE.md`` resolve, relative links in
+the checked markdown files exist, and every ``src/repro/transport``
+module carries a non-empty docstring.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_docs_clean():
+    errors = check_docs.run_checks()
+    assert not errors, "\n".join(errors)
+
+
+def test_github_slugs():
+    assert check_docs.github_slug("The SupplySchedule contract") == \
+        "the-supplyschedule-contract"
+    assert check_docs.github_slug("Plan / cascade / replicate") == \
+        "plan--cascade--replicate"
+
+
+def test_checker_flags_broken_anchor(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("# Title\n\nsee [x](#missing) and [y](./nope.md)\n")
+    errors = check_docs.check_markdown(bad)
+    assert any("#missing" in e for e in errors)
+    assert any("nope.md" in e for e in errors)

@@ -319,3 +319,33 @@ def test_gap_histogram_percentiles():
         GapHistogram().percentile(0.5)
     with pytest.raises(ValueError):
         h.percentile(1.5)
+
+
+def test_gap_histogram_empty_percentile_message():
+    """Regression: percentiles of an empty histogram raise a clear,
+    self-explanatory error — including the one-event case, which records
+    no gap and therefore defines no percentile."""
+    with pytest.raises(ValueError, match="empty GapHistogram"):
+        GapHistogram().percentile(0.5)
+    one_event = GapHistogram()
+    one_event.record(42)  # one event: still zero gaps
+    with pytest.raises(ValueError, match="empty GapHistogram"):
+        one_event.p50
+    with pytest.raises(ValueError, match="empty GapHistogram"):
+        one_event.p99
+
+
+def test_planner_stats_replication_counters():
+    a = PlannerStats(pattern_checks=4, replications=2, replicated_rounds=10)
+    b = PlannerStats(pattern_checks=1, replications=1, replicated_rounds=1,
+                     windows=1, attempts=1, window_cycles=32)
+    m = a.merge(b)
+    assert m.pattern_checks == 5
+    assert m.replications == 3
+    assert m.replicated_rounds == 11
+    assert m.replication_hit_rate == pytest.approx(3 / 5)
+    assert m.mean_train_rounds == pytest.approx(11 / 3)
+    # Replicated trains count as committed windows for mean_window.
+    assert m.mean_window == pytest.approx(32 / 4)
+    assert PlannerStats().replication_hit_rate == 0.0
+    assert PlannerStats().mean_train_rounds == 0.0
