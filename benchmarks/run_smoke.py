@@ -10,11 +10,16 @@ script:
   wall-clock seconds per mode;
 * per point: the burst/per-flit speedup plus the burst planner's
   counters (window hit rate, mean committed window length, cascade
-  co-plans, pattern-replication hit rate and mean train length), so the
-  supply-schedule plane's effectiveness is tracked in the perf
-  trajectory alongside raw speed;
+  co-plans, pattern-replication hit rate and mean train length, cruise
+  induction hit rate and rounds), so the supply-schedule plane's
+  effectiveness is tracked in the perf trajectory alongside raw speed;
+* bandwidth points run on two buffer presets — the paper's shallow
+  NOCTUA depths and the deep-buffer NOCTUA_DEEP regime, where the
+  per-event information quantum spans multiple pattern rounds (trains
+  exceed one round and cruise-mode induction engages);
 * headline: per-hop-count speedups at the largest stream size, their
-  replication hit rates, and the collective planner hit rates.
+  replication/cruise rates for both buffer regimes, the deep-vs-shallow
+  4-hop ratio, and the collective planner hit rates.
 
 Every field is documented in ``benchmarks/README.md``.
 
@@ -37,7 +42,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core.config import NOCTUA
+from repro.core.config import NOCTUA, NOCTUA_DEEP
 from repro.core.datatypes import SMI_FLOAT
 from repro.harness.runners import (
     measure_bcast_sim_us,
@@ -57,6 +62,13 @@ STREAM_HOPS = (1, 4)
 COLL_SIZES = (1 << 6, 1 << 9, 1 << 12)
 QUICK_COLL_SIZES = (1 << 6, 1 << 9)
 COLL_RANKS = 4
+
+#: Buffer presets the bandwidth points sweep: the paper's shallow NOCTUA
+#: depths and the deep-buffer regime where replication trains exceed one
+#: round and cruise-mode induction engages. Collective points stay on
+#: the shallow preset (their support kernels bound batching, not buffer
+#: depth) to keep the CI run short.
+BUFFER_PRESETS = (("noctua", NOCTUA), ("deep", NOCTUA_DEEP))
 
 
 def _best_of(fn, repeats: int):
@@ -79,24 +91,26 @@ def _finish_point(point):
 
 def run_stream_points(sizes, repeats):
     points = []
-    for hops in STREAM_HOPS:
-        for n in sizes:
-            point = {"kind": "bandwidth", "elements": int(n),
-                     "bytes": int(n) * SMI_FLOAT.size, "hops": hops}
-            for mode in (False, True):
-                cfg = NOCTUA.with_(burst_mode=mode)
-                stats: dict = {}
-                cycles, wall = _best_of(
-                    lambda: measure_stream_sim(n, hops, SMI_FLOAT, cfg,
-                                               planner_stats=stats),
-                    repeats,
-                )
-                key = "burst" if mode else "flit"
-                point[f"cycles_{key}"] = int(cycles)
-                point[f"wall_s_{key}"] = round(wall, 4)
-                if mode:
-                    point["planner"] = stats
-            points.append(_finish_point(point))
+    for buffers, preset in BUFFER_PRESETS:
+        for hops in STREAM_HOPS:
+            for n in sizes:
+                point = {"kind": "bandwidth", "elements": int(n),
+                         "bytes": int(n) * SMI_FLOAT.size, "hops": hops,
+                         "buffers": buffers}
+                for mode in (False, True):
+                    cfg = preset.with_(burst_mode=mode)
+                    stats: dict = {}
+                    cycles, wall = _best_of(
+                        lambda: measure_stream_sim(n, hops, SMI_FLOAT, cfg,
+                                                   planner_stats=stats),
+                        repeats,
+                    )
+                    key = "burst" if mode else "flit"
+                    point[f"cycles_{key}"] = int(cycles)
+                    point[f"wall_s_{key}"] = round(wall, 4)
+                    if mode:
+                        point["planner"] = stats
+                points.append(_finish_point(point))
     return points
 
 
@@ -131,7 +145,9 @@ def build_headline(points):
         "all_cycle_exact": all(p["cycle_exact"] for p in points),
     }
     for p in points:
-        if p["kind"] == "bandwidth" and p["elements"] == largest_n:
+        if p["kind"] != "bandwidth" or p["elements"] != largest_n:
+            continue
+        if p["buffers"] == "noctua":
             headline[f"speedup_at_largest_{p['hops']}hop"] = p["speedup"]
             headline[f"planner_hit_rate_{p['hops']}hop"] = \
                 p["planner"]["hit_rate"]
@@ -141,6 +157,21 @@ def build_headline(points):
                 p["planner"]["replication_hit_rate"]
             headline[f"mean_train_rounds_{p['hops']}hop"] = \
                 p["planner"]["mean_train_rounds"]
+        else:
+            headline[f"deep_speedup_at_largest_{p['hops']}hop"] = \
+                p["speedup"]
+            headline[f"deep_mean_train_rounds_{p['hops']}hop"] = \
+                p["planner"]["mean_train_rounds"]
+            headline[f"deep_cruise_rounds_{p['hops']}hop"] = \
+                p["planner"]["cruise_rounds"]
+            headline[f"deep_cruise_hit_rate_{p['hops']}hop"] = \
+                p["planner"]["cruise_hit_rate"]
+    shallow = headline.get("speedup_at_largest_4hop")
+    deep = headline.get("deep_speedup_at_largest_4hop")
+    if shallow and deep:
+        # The deep-buffer regime's payoff: quanta spanning multiple
+        # pattern rounds make the burst plane relatively faster.
+        headline["deep_vs_shallow_4hop"] = round(deep / shallow, 2)
     for kind in ("bcast", "reduce"):
         coll = [p for p in points if p["kind"] == kind]
         if coll:
@@ -183,10 +214,10 @@ def main(argv=None) -> int:
     out.write_text(json.dumps(report, indent=2) + "\n")
 
     for p in points:
-        tag = (f"hops={p['hops']}" if p["kind"] == "bandwidth"
-               else f"ranks={p['ranks']}")
+        tag = (f"hops={p['hops']} {p['buffers'][:4]}"
+               if p["kind"] == "bandwidth" else f"ranks={p['ranks']}")
         planner = p["planner"]
-        print(f"{p['kind']:9s} {tag:7s} n={p['elements']:7d}  "
+        print(f"{p['kind']:9s} {tag:12s} n={p['elements']:7d}  "
               f"cycles={p['cycles_burst']:9d} exact={p['cycle_exact']}  "
               f"flit={p['wall_s_flit']:.3f}s burst={p['wall_s_burst']:.3f}s "
               f"speedup={p['speedup']:.2f}x  "
@@ -194,7 +225,8 @@ def main(argv=None) -> int:
               f"meanwin={planner['mean_window']:.1f} "
               f"coplans={planner['coplans']} "
               f"trains={planner['replications']} "
-              f"meantrain={planner['mean_train_rounds']:.1f}")
+              f"meantrain={planner['mean_train_rounds']:.1f} "
+              f"cruise={planner['cruise_rounds']}")
     print(f"headline: {report['headline']}")
     print(f"wrote {out}")
     if not report["headline"]["all_cycle_exact"]:

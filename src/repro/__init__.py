@@ -6,9 +6,13 @@ resource/host-baseline models, and the paper's applications and benchmarks.
 """
 
 from .core import (
+    HW_PRESETS,
     NOCTUA,
+    NOCTUA_DEEP,
     NOCTUA_KERNEL_CLOCKS,
     NOCTUA_MEMORY,
+    NOCTUA_XDEEP,
+    hardware_preset,
     DATATYPES,
     OPS,
     SMI_ADD,

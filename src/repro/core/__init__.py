@@ -4,12 +4,16 @@ from .channel import RecvChannel, SendChannel
 from .coll_channels import BcastChannel, GatherChannel, ReduceChannel, ScatterChannel
 from .comm import SMIComm
 from .config import (
+    HW_PRESETS,
     NOCTUA,
+    NOCTUA_DEEP,
     NOCTUA_KERNEL_CLOCKS,
     NOCTUA_MEMORY,
+    NOCTUA_XDEEP,
     HardwareConfig,
     KernelClockModel,
     MemoryConfig,
+    hardware_preset,
 )
 from .context import SMIContext
 from .datatypes import (

@@ -96,6 +96,17 @@ class HardwareConfig:
         equivalence suite covers it); it only changes simulator
         wall-clock. Only meaningful with ``burst_mode`` on. Turn off to
         A/B the replication plane in isolation.
+    cruise_induction:
+        Enable cruise-mode induction inside replication trains: once a
+        train round validates, further rounds whose every resource is
+        train-internal or arithmetically bounded (committed supply,
+        free slots and release schedules, supply horizons) commit in
+        bulk with no per-round validation walk. Cycle-exact like the
+        planes beneath it (the equivalence and fuzz suites pin the
+        3-way per-flit / replicated / cruise equality); pays mainly in
+        deep-buffer configurations where trains span many rounds. Only
+        meaningful with ``pattern_replication`` on. Turn off to A/B the
+        induction in isolation.
     record_accepts:
         Opt-in arbiter instrumentation: when True every CKS/CKR polling
         arbiter keeps a bounded histogram of inter-accept gaps (see
@@ -117,6 +128,7 @@ class HardwareConfig:
     max_ports: int = 256
     burst_mode: bool = True
     pattern_replication: bool = True
+    cruise_induction: bool = True
     record_accepts: bool = False
 
     def __post_init__(self) -> None:
@@ -185,6 +197,38 @@ class HardwareConfig:
 
 #: The default platform model: Noctua's Nallatech 520N boards (§5.1).
 NOCTUA = HardwareConfig()
+
+#: Deep-buffer variant of the Noctua model: 32-deep inter-CK FIFOs and a
+#: proportionally larger endpoint buffer (the §3.3 asynchronicity degree
+#: grows with it). On a Stratix 10 this is still comfortably on-chip
+#: (M20K blocks hold 64 x 256-bit words, so a 32-deep 256-bit FIFO is a
+#: fraction of one block); the paper fixes the shallow depths for the
+#: resource tables, but nothing in the transport requires them. Deeper
+#: buffers grow the per-event information quantum, which is the regime
+#: where replication trains exceed one round and cruise-mode induction
+#: pays — see ``docs/ARCHITECTURE.md`` ("Cruise mode & induction").
+NOCTUA_DEEP = HardwareConfig(endpoint_fifo_depth=32, inter_ck_fifo_depth=32)
+
+#: Extra-deep variant (64-deep everywhere): one full M20K per FIFO.
+NOCTUA_XDEEP = HardwareConfig(endpoint_fifo_depth=64, inter_ck_fifo_depth=64)
+
+#: Named hardware presets, for harness/benchmark CLI wiring.
+HW_PRESETS: dict[str, HardwareConfig] = {
+    "noctua": NOCTUA,
+    "noctua-deep": NOCTUA_DEEP,
+    "noctua-xdeep": NOCTUA_XDEEP,
+}
+
+
+def hardware_preset(name: str) -> HardwareConfig:
+    """Look up a named :class:`HardwareConfig` preset (see HW_PRESETS)."""
+    try:
+        return HW_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(HW_PRESETS))
+        raise ConfigurationError(
+            f"unknown hardware preset {name!r} (known: {known})"
+        ) from None
 
 
 @dataclass(frozen=True)

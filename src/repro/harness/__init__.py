@@ -1,7 +1,7 @@
 """Benchmark harness: paper data, runners, and report formatting."""
 
 from . import paperdata
-from .reporting import Comparison, burst_summary, format_table
+from .reporting import Comparison, burst_summary, format_table, planner_summary
 from .runners import (
     SIM_ELEMENT_LIMIT,
     SweepPoint,

@@ -90,6 +90,24 @@ class Comparison:
         print()
 
 
+def planner_summary(stats) -> str:
+    """One-line supply-schedule plane summary for benchmark reports.
+
+    Takes an aggregate :class:`~repro.simulation.stats.PlannerStats`
+    (e.g. from ``collect_planner_stats``) and renders the planning,
+    replication, and cruise-induction counters in one scannable line.
+    """
+    return (
+        f"planner: hit {stats.hit_rate:.2f} "
+        f"meanwin {stats.mean_window:.1f}cy "
+        f"coplans {stats.coplans:,} | replication: "
+        f"{stats.replications:,} trains x {stats.mean_train_rounds:.2f} "
+        f"rounds (hit {stats.replication_hit_rate:.2f}) | cruise: "
+        f"{stats.cruise_rounds:,} rounds in {stats.cruise_commits:,} "
+        f"bursts (induction hit {stats.cruise_hit_rate:.2f})"
+    )
+
+
 def burst_summary(engine) -> str:
     """One-line burst fast-path summary for benchmark reports.
 

@@ -666,8 +666,20 @@ class Fifo:
     def _occ_fold(self) -> None:
         """Fold log entries strictly before the current cycle into
         ``(base, peak)`` — they are final, since every logging path stamps
-        cycles at or after the wall clock."""
-        occ, peak, i, j = self._occ_sweep(self.engine.cycle)
+        cycles at or after the wall clock.
+
+        Bulk cruise/replication commits can push the logs past the fold
+        limit with *future-dated* entries only (whole trains commit in
+        one engine event); nothing is foldable then, so bail before the
+        sweep instead of re-walking the log on every subsequent burst.
+        """
+        now = self.engine.cycle
+        stages = self._occ_stages
+        takes = self._occ_takes
+        if (not stages or stages[0] >= now) and (not takes or
+                                                 takes[0] >= now):
+            return
+        occ, peak, i, j = self._occ_sweep(now)
         self._occ_base = occ
         self._occ_peak = peak
         if i:

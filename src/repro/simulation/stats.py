@@ -206,6 +206,14 @@ class PlannerStats:
     least one round was committed from it, and ``replicated_rounds`` the
     total number of Δ-shifted pattern rounds committed in bulk (the sum
     of all train lengths).
+
+    Cruise-mode induction adds three more: ``cruise_checks`` counts the
+    times a validated round armed the induction and the arithmetic bound
+    scan ran, ``cruise_commits`` the scans that proved at least one
+    further round (K >= 1), and ``cruise_rounds`` the total rounds
+    committed by cruise (a subset of ``replicated_rounds`` — every
+    cruise round is a replicated round, committed without the per-round
+    validation walk).
     """
 
     attempts: int = 0
@@ -217,6 +225,9 @@ class PlannerStats:
     pattern_checks: int = 0
     replications: int = 0
     replicated_rounds: int = 0
+    cruise_checks: int = 0
+    cruise_commits: int = 0
+    cruise_rounds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -242,6 +253,12 @@ class PlannerStats:
         return (self.replicated_rounds / self.replications
                 if self.replications else 0.0)
 
+    @property
+    def cruise_hit_rate(self) -> float:
+        """Cruise commits per induction attempt (the induction hit-rate)."""
+        return (self.cruise_commits / self.cruise_checks
+                if self.cruise_checks else 0.0)
+
     def merge(self, other: "PlannerStats") -> "PlannerStats":
         return PlannerStats(
             self.attempts + other.attempts,
@@ -253,6 +270,9 @@ class PlannerStats:
             self.pattern_checks + other.pattern_checks,
             self.replications + other.replications,
             self.replicated_rounds + other.replicated_rounds,
+            self.cruise_checks + other.cruise_checks,
+            self.cruise_commits + other.cruise_commits,
+            self.cruise_rounds + other.cruise_rounds,
         )
 
 

@@ -96,6 +96,10 @@ class PollingArbiter:
     PLAN_SKIP_POLLS = 256
     PLAN_SKIP_MAX = 8192
 
+    #: Initial replication-futility skip length (doubled by
+    #: :meth:`SupplyPlanner._note_train` up to ``REP_SKIP_MAX`` there).
+    REP_SKIP_POLLS = 64
+
     def __init__(self, inputs: list[Fifo], read_burst: int,
                  record_accepts: bool = False) -> None:
         if not inputs:
@@ -130,8 +134,26 @@ class PollingArbiter:
         # the attempts (and the trace/signature tax) for a while.
         self._rep_miss = 0
         self._rep_skip = 0
-        self._rep_skip_len = 64
+        self._rep_skip_len = self.REP_SKIP_POLLS
         self.planner_stats = PlannerStats()
+
+    def reset_backoff(self) -> None:
+        """Forget all planning/replication futility state.
+
+        Called by :meth:`SupplyPlanner.reset_backoff` when a plane is
+        (re)wired: backoff lengths learned against one configuration say
+        nothing about another. ``build_transport`` always constructs
+        fresh arbiters, so there the call only pins the invariant; it
+        has teeth for any wiring path that attaches already-running CKs
+        to a planner (a long-lived ``SOLO_PLANNER`` wired by hand, a
+        harness rewiring a plane in place).
+        """
+        self._plan_miss = 0
+        self._plan_skip = 0
+        self._plan_skip_len = self.PLAN_SKIP_POLLS
+        self._rep_miss = 0
+        self._rep_skip = 0
+        self._rep_skip_len = self.REP_SKIP_POLLS
 
     def record_accept(self, cycle: int) -> None:
         """Count one accepted packet (histogram only if opted in)."""

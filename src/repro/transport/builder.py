@@ -376,9 +376,15 @@ def _wire_supply_planner(ranks: dict[int, RankTransport],
     the metadata cannot see, so their producer sets are not closed.
 
     ``config.pattern_replication`` gates the planner's steady-state
-    replication plane for the whole cluster.
+    replication plane for the whole cluster, and
+    ``config.cruise_induction`` the cruise plane riding on it. Once the
+    plane is wired, every arbiter's futility backoff is reset — a
+    formality here (this builder always constructs fresh arbiters) that
+    pins the invariant for every wiring path: a newly wired plane never
+    inherits skip lengths escalated under another configuration.
     """
-    sp = SupplyPlanner(replication=config.pattern_replication)
+    sp = SupplyPlanner(replication=config.pattern_replication,
+                       cruise=config.cruise_induction)
     for rt in ranks.values():
         for rank_cks in rt.cks.values():
             rank_cks.supply_planner = sp
@@ -408,4 +414,5 @@ def _wire_supply_planner(ranks: dict[int, RankTransport],
         for kernel in rt.support_kernels.values():
             kernel.send_ep.register_producer(kernel.proc)
             kernel.app_out.register_producer(kernel.proc)
+    sp.reset_backoff()
     return sp

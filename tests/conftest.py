@@ -6,3 +6,14 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-iters",
+        type=int,
+        default=25,
+        help="random cases run by the slow-marked extended fuzz sweep "
+        "(tests/test_burst_fuzz.py); the ~20 seeded tier-1 cases always "
+        "run regardless of this knob",
+    )

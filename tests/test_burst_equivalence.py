@@ -525,6 +525,7 @@ def _stream_cycles(config, n, hops, stall_at=None, stall_for=0):
     return marks["end"], collect_planner_stats(res.transport)
 
 
+@pytest.mark.slow
 def test_replication_delta_drift_mid_train():
     """A mid-stream sender stall breaks the steady-state Δ-shift exactly
     where a train would be replicating: the pattern must fail validation
@@ -539,6 +540,7 @@ def test_replication_delta_drift_mid_train():
     assert stats.replications > 0
 
 
+@pytest.mark.slow
 def test_replication_across_parked_ck():
     """Steady-state replication on a long multi-hop stream (mid-pipeline
     CKs park between link-paced packets; their park races replicate as
@@ -565,6 +567,7 @@ def test_replication_disabled_stays_exact_and_silent():
     assert stats_off.pattern_checks == 0
 
 
+@pytest.mark.slow
 def test_replication_disabled_collective_parity():
     """Collective workloads (the parity-gated smoke kind) stay cycle-exact
     with replication on, off, and per-flit."""
@@ -594,6 +597,46 @@ def test_replication_disabled_collective_parity():
     ref = run(_cfg(False))
     assert run(_cfg(True)) == ref
     assert run(_cfg(True).with_(pattern_replication=False)) == ref
+
+
+# ----------------------------------------------------------------------
+# Cruise-mode induction (deep-buffer regime)
+# ----------------------------------------------------------------------
+def test_cruise_three_way_equivalence_deep_buffers():
+    """The acceptance bar for cruise-mode induction: at deep buffer
+    depths (where trains exceed one round and the induction engages) the
+    per-flit, validated-replication, and cruise planes must agree on
+    every cycle — and cruise must actually have committed rounds."""
+    from repro import NOCTUA_DEEP
+
+    n = 2048
+    flit, _ = _stream_cycles(NOCTUA_DEEP.with_(burst_mode=False), n, 4)
+    validated, stats_v = _stream_cycles(
+        NOCTUA_DEEP.with_(cruise_induction=False), n, 4)
+    cruise, stats_c = _stream_cycles(NOCTUA_DEEP, n, 4)
+    assert flit == validated == cruise
+    assert stats_v.cruise_rounds == 0
+    assert stats_c.cruise_rounds > 0
+    # Cruise replaces validation work, never train reach: both planes
+    # replicate, and the cruise rounds are a subset of replicated rounds.
+    assert stats_c.replicated_rounds >= stats_c.cruise_rounds
+    assert stats_c.replications > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("hops", [1, 4, 6])
+def test_cruise_three_way_equivalence_deep_sweep(hops):
+    """Full-size deep-buffer sweep of the 3-way equality (nightly job)."""
+    from repro import NOCTUA_XDEEP
+
+    n = 8192
+    flit, _ = _stream_cycles(NOCTUA_XDEEP.with_(burst_mode=False), n, hops)
+    validated, _ = _stream_cycles(
+        NOCTUA_XDEEP.with_(cruise_induction=False), n, hops)
+    cruise, stats = _stream_cycles(NOCTUA_XDEEP, n, hops)
+    assert flit == validated == cruise
+    if hops > 1:
+        assert stats.cruise_rounds > 0
 
 
 # ----------------------------------------------------------------------

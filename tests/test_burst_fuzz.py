@@ -1,0 +1,268 @@
+"""Randomized cycle-equivalence fuzzing across the burst planes.
+
+Each seeded case draws a topology span (1-6 hops on the Noctua bus), FIFO
+depths (shallow through deep-buffer regimes), a polling parameter, and a
+workload (p2p / credited p2p / bcast / reduce / scatter / mixed
+stencil+collective), then runs it under four data planes:
+
+* ``flit`` — the per-flit reference interpretation (``burst_mode=False``);
+* ``burst`` — window planning only (``pattern_replication=False``);
+* ``replicated`` — pattern replication, no induction
+  (``cruise_induction=False``);
+* ``cruise`` — the full plane (replication + cruise-mode induction).
+
+Every plane must produce identical simulated cycles per rank and
+identical per-FIFO push/pop counts and exact occupancy peaks — the same
+bar ``tests/test_burst_equivalence.py`` pins on hand-picked workloads,
+here swept over a randomized parameter space. ~20 seeded cases run in
+tier-1; the slow-marked extended sweep honours ``--fuzz-iters`` for the
+nightly CI job.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import NOCTUA, SMI_FLOAT, SMI_INT, SMIProgram, noctua_bus
+from repro.codegen.metadata import OpDecl
+from repro.core.ops import SMI_ADD
+
+#: The four data planes whose cycle trajectories must coincide.
+PLANES = {
+    "flit": dict(burst_mode=False),
+    "burst": dict(pattern_replication=False),
+    "replicated": dict(cruise_induction=False),
+    "cruise": dict(),
+}
+
+
+def _fifo_counts(engine):
+    return {
+        name: (s["pushes"], s["pops"], s["max_occupancy"])
+        for name, s in engine.fifo_stats().items()
+    }
+
+
+def _gen_case(rng: random.Random) -> dict:
+    """Draw one workload + platform configuration."""
+    case = {
+        "kind": rng.choice(
+            ["p2p", "p2p", "credited", "bcast", "reduce", "scatter",
+             "mixed"]
+        ),
+        "inter_ck_fifo_depth": rng.choice([2, 4, 8, 32]),
+        "endpoint_fifo_depth": rng.choice([2, 8, 32]),
+        "read_burst": rng.choice([1, 4, 8]),
+    }
+    if case["kind"] == "p2p":
+        case["hops"] = rng.randint(1, 6)
+        case["n"] = rng.choice([40, 136, 512])
+        case["width"] = rng.choice([4, 8])
+        case["declare_peer"] = rng.random() < 0.5
+        case["stall"] = rng.choice([0, 0, 97])
+    elif case["kind"] == "credited":
+        case["hops"] = rng.randint(1, 4)
+        case["n"] = rng.choice([48, 120])
+        case["window"] = rng.choice([2, 4])
+        case["stall"] = rng.choice([0, 150])
+    elif case["kind"] in ("bcast", "reduce"):
+        case["ranks"] = rng.randint(2, 4)
+        case["n"] = rng.choice([16, 48])
+    elif case["kind"] == "scatter":
+        case["ranks"] = rng.randint(2, 4)
+        case["n"] = rng.choice([12, 32])
+    else:  # mixed stencil halo + bcast
+        case["ranks"] = 3
+        case["n_halo"] = rng.choice([40, 96])
+        case["n_bcast"] = rng.choice([16, 32])
+    return case
+
+
+def _run_case(case: dict, config) -> tuple[dict, dict]:
+    """Run one case; returns (per-rank end cycles + outputs, fifo stats)."""
+    kind = case["kind"]
+    prog = SMIProgram(noctua_bus(), config=config)
+    if kind == "p2p":
+        hops, n, width = case["hops"], case["n"], case["width"]
+        data = np.arange(n, dtype=np.float32)
+        stall = case["stall"]
+        peer = dict(peer=hops) if case["declare_peer"] else {}
+        rpeer = dict(peer=0) if case["declare_peer"] else {}
+
+        def snd(smi):
+            ch = smi.open_send_channel(n, SMI_FLOAT, hops, 0)
+            if stall:
+                yield from ch.push_vec(data[: n // 2], width=width)
+                yield smi.wait(stall)
+                yield from ch.push_vec(data[n // 2:], width=width)
+            else:
+                yield from ch.push_vec(data, width=width)
+
+        def rcv(smi):
+            ch = smi.open_recv_channel(n, SMI_FLOAT, 0, 0)
+            out = yield from ch.pop_vec(n, width=width)
+            smi.store("out", [float(v) for v in out])
+            smi.store("end", smi.cycle)
+
+        prog.add_kernel(snd, rank=0,
+                        ops=[OpDecl("send", 0, SMI_FLOAT, **peer)])
+        prog.add_kernel(rcv, rank=hops,
+                        ops=[OpDecl("recv", 0, SMI_FLOAT, **rpeer)])
+        watch = [hops]
+    elif kind == "credited":
+        hops, n, window = case["hops"], case["n"], case["window"]
+        stall = case["stall"]
+        ops = [OpDecl("send", 0, SMI_INT), OpDecl("recv", 0, SMI_INT)]
+
+        def sender(smi):
+            ch = smi.open_credited_send_channel(n, SMI_INT, hops, 0,
+                                                window_packets=window)
+            for i in range(n):
+                yield from smi.push(ch, i)
+
+        def receiver(smi):
+            ch = smi.open_credited_recv_channel(n, SMI_INT, 0, 0,
+                                                window_packets=window)
+            if stall:
+                yield smi.wait(stall)
+            out = []
+            for _ in range(n):
+                out.append(int((yield from smi.pop(ch))))
+            smi.store("out", out)
+            smi.store("end", smi.cycle)
+
+        prog.add_kernel(sender, rank=0, ops=ops)
+        prog.add_kernel(receiver, rank=hops, ops=ops)
+        watch = [hops]
+    elif kind in ("bcast", "reduce"):
+        n, num_ranks = case["n"], case["ranks"]
+        op = (OpDecl("reduce", 0, SMI_FLOAT, reduce_op=SMI_ADD)
+              if kind == "reduce" else OpDecl("bcast", 0, SMI_FLOAT))
+
+        def kernel(smi):
+            comm = smi.comm_world.sub(list(range(num_ranks)))
+            if not comm.contains(smi.rank):
+                return
+                yield  # pragma: no cover
+            out = []
+            if kind == "bcast":
+                chan = smi.open_bcast_channel(n, SMI_FLOAT, 0, 0, comm)
+                for i in range(n):
+                    v = yield from chan.bcast(
+                        float(i) if smi.rank == 0 else None)
+                    out.append(float(v))
+            else:
+                chan = smi.open_reduce_channel(n, SMI_FLOAT, SMI_ADD,
+                                               0, 0, comm)
+                for i in range(n):
+                    v = yield from chan.reduce(float(smi.rank + i))
+                    if smi.rank == 0:
+                        out.append(float(v))
+            smi.store("out", out)
+            smi.store("end", smi.cycle)
+
+        prog.add_kernel(kernel, ranks="all", ops=[op])
+        watch = list(range(num_ranks))
+    elif kind == "scatter":
+        count, num_ranks = case["n"], case["ranks"]
+
+        def kernel(smi):
+            comm = smi.comm_world.sub(list(range(num_ranks)))
+            if not comm.contains(smi.rank):
+                return
+                yield  # pragma: no cover
+            chan = smi.open_scatter_channel(count, SMI_FLOAT, 0, 0, comm)
+            if smi.rank == 0:
+                vals = [float(i) for i in range(count * num_ranks)]
+                mine = yield from chan.stream_root(vals)
+            else:
+                mine = []
+                for _ in range(count):
+                    mine.append(float((yield from chan.pop())))
+            smi.store("out", [float(v) for v in mine])
+            smi.store("end", smi.cycle)
+
+        prog.add_kernel(kernel, ranks="all",
+                        ops=[OpDecl("scatter", 0, SMI_FLOAT)])
+        watch = list(range(num_ranks))
+    else:  # mixed: p2p halo ring + broadcast sharing the fabric
+        n_halo, n_bcast = case["n_halo"], case["n_bcast"]
+        num_ranks = case["ranks"]
+
+        def kernel(smi):
+            comm = smi.comm_world.sub(list(range(num_ranks)))
+            if not comm.contains(smi.rank):
+                return
+                yield  # pragma: no cover
+            right = (smi.rank + 1) % num_ranks
+            left = (smi.rank - 1) % num_ranks
+            data = np.full(n_halo, float(smi.rank), dtype=np.float32)
+
+            def exchange():
+                snd = smi.open_send_channel(n_halo, SMI_FLOAT, right, 1)
+                yield from snd.push_vec(data, width=8)
+                rcv = smi.open_recv_channel(n_halo, SMI_FLOAT, left, 1)
+                halo = yield from rcv.pop_vec(n_halo, width=8)
+                smi.store("halo", [float(v) for v in halo])
+
+            smi.engine.spawn(exchange(), f"halo{smi.rank}")
+            chan = smi.open_bcast_channel(n_bcast, SMI_FLOAT, 0, 0, comm)
+            got = []
+            for i in range(n_bcast):
+                v = yield from chan.bcast(
+                    float(i) if smi.rank == 0 else None)
+                got.append(float(v))
+            smi.store("out", got)
+            smi.store("end", smi.cycle)
+
+        prog.add_kernel(
+            kernel, ranks=list(range(num_ranks)),
+            ops=[OpDecl("bcast", 0, SMI_FLOAT),
+                 OpDecl("send", 1, SMI_FLOAT),
+                 OpDecl("recv", 1, SMI_FLOAT)])
+        watch = list(range(num_ranks))
+
+    res = prog.run(max_cycles=50_000_000)
+    assert res.completed, res.reason
+    marks = {}
+    for rank in watch:
+        marks[(rank, "end")] = res.store(rank, "end")
+        out = res.store(rank, "out") if kind != "mixed" else (
+            res.store(rank, "out"), res.store(rank, "halo"))
+        marks[(rank, "out")] = out
+    return marks, _fifo_counts(res.engine)
+
+
+def _assert_planes_agree(case: dict) -> None:
+    base = NOCTUA.with_(
+        inter_ck_fifo_depth=case["inter_ck_fifo_depth"],
+        endpoint_fifo_depth=case["endpoint_fifo_depth"],
+        read_burst=case["read_burst"],
+    )
+    ref = None
+    for plane, overrides in PLANES.items():
+        marks, counts = _run_case(case, base.with_(**overrides))
+        if ref is None:
+            ref = (plane, marks, counts)
+        else:
+            assert marks == ref[1], (
+                f"{plane} diverged from {ref[0]} on {case}"
+            )
+            assert counts == ref[2], (
+                f"{plane} FIFO stats diverged from {ref[0]} on {case}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_fuzz_cycle_equivalence_seeded(seed):
+    """Tier-1: 20 fixed seeds across the generator's parameter space."""
+    _assert_planes_agree(_gen_case(random.Random(seed)))
+
+
+@pytest.mark.slow
+def test_fuzz_cycle_equivalence_extended(request):
+    """Nightly: ``--fuzz-iters`` additional cases from a shifted space."""
+    iters = request.config.getoption("--fuzz-iters")
+    for seed in range(1000, 1000 + iters):
+        _assert_planes_agree(_gen_case(random.Random(seed)))

@@ -3,12 +3,16 @@
 import pytest
 
 from repro.core.config import (
+    HW_PRESETS,
     NOCTUA,
+    NOCTUA_DEEP,
     NOCTUA_KERNEL_CLOCKS,
     NOCTUA_MEMORY,
+    NOCTUA_XDEEP,
     HardwareConfig,
     KernelClockModel,
     MemoryConfig,
+    hardware_preset,
 )
 from repro.core.errors import ConfigurationError
 
@@ -59,6 +63,35 @@ def test_with_replaces_fields():
 def test_invalid_config_rejected(kwargs):
     with pytest.raises(ConfigurationError):
         HardwareConfig(**kwargs)
+
+
+def test_deep_buffer_presets():
+    """The deep presets differ from NOCTUA only in buffer depths: the
+    timing calibration (clocks, latencies, polling) is shared, so deep
+    points in BENCH_smoke.json stay comparable with the shallow ones."""
+    for preset, depth in ((NOCTUA_DEEP, 32), (NOCTUA_XDEEP, 64)):
+        assert preset.inter_ck_fifo_depth == depth
+        assert preset.endpoint_fifo_depth == depth
+        assert preset.clock_hz == NOCTUA.clock_hz
+        assert preset.link_latency_cycles == NOCTUA.link_latency_cycles
+        assert preset.read_burst == NOCTUA.read_burst
+        assert preset.burst_mode and preset.pattern_replication
+        assert preset.cruise_induction
+
+
+def test_hardware_preset_lookup():
+    assert hardware_preset("noctua") is NOCTUA
+    assert hardware_preset("noctua-deep") is NOCTUA_DEEP
+    assert hardware_preset("noctua-xdeep") is NOCTUA_XDEEP
+    assert set(HW_PRESETS) == {"noctua", "noctua-deep", "noctua-xdeep"}
+    with pytest.raises(ConfigurationError, match="unknown hardware preset"):
+        hardware_preset("noctua-bottomless")
+
+
+def test_cruise_induction_flag_round_trips():
+    cfg = NOCTUA.with_(cruise_induction=False)
+    assert not cfg.cruise_induction
+    assert NOCTUA.cruise_induction  # default on
 
 
 def test_memory_config_defaults():

@@ -32,3 +32,20 @@ def test_checker_flags_broken_anchor(tmp_path):
     errors = check_docs.check_markdown(bad)
     assert any("#missing" in e for e in errors)
     assert any("nope.md" in e for e in errors)
+
+
+def test_checker_flags_missing_required_section(tmp_path):
+    """Dropping a contract section (e.g. 'Cruise mode & induction') from
+    the architecture doc is a lint error, not a silent doc rot."""
+    doc = tmp_path / "ARCHITECTURE.md"
+    doc.write_text("# Architecture\n\n## Pattern replication\n\ntext\n")
+    errors = check_docs.check_required_anchors(doc)
+    assert any("Cruise mode & induction" in e for e in errors)
+    assert any("Horizon semantics" in e for e in errors)
+    assert not any("Pattern replication" in e for e in errors)
+
+
+def test_required_sections_present_in_real_doc():
+    errors = check_docs.check_required_anchors(
+        check_docs.ROOT / "docs" / "ARCHITECTURE.md")
+    assert not errors, "\n".join(errors)

@@ -29,6 +29,18 @@ ROOT = Path(__file__).resolve().parent.parent
 #: Markdown files whose anchors and relative links are verified.
 CHECKED_DOCS = ("docs/ARCHITECTURE.md", "README.md", "benchmarks/README.md")
 
+#: Sections the architecture doc must keep (each is the written contract
+#: for one subsystem the code references by name); listed as the heading
+#: text, checked as its GitHub anchor slug.
+REQUIRED_ARCHITECTURE_HEADINGS = (
+    "The SupplySchedule contract",
+    "Horizon semantics",
+    "Slot economy: reserved slots and pairing",
+    "Pattern replication",
+    "Cruise mode & induction",
+    "Invariants the test suite pins",
+)
+
 #: Glob of modules that must carry a non-empty module docstring.
 DOCSTRING_GLOB = "src/repro/transport/*.py"
 
@@ -88,6 +100,22 @@ def check_docstrings(glob: str = DOCSTRING_GLOB) -> list[str]:
     return errors
 
 
+def check_required_anchors(path: Path) -> list[str]:
+    """Required architecture sections missing from ``path``."""
+    if not path.exists():
+        return []  # the file-missing error is reported elsewhere
+    anchors = markdown_anchors(path.read_text(encoding="utf-8"))
+    try:
+        rel = path.relative_to(ROOT)
+    except ValueError:  # pragma: no cover - tests use tmp dirs
+        rel = path
+    return [
+        f"{rel}: required section missing: {heading!r}"
+        for heading in REQUIRED_ARCHITECTURE_HEADINGS
+        if github_slug(heading) not in anchors
+    ]
+
+
 def run_checks() -> list[str]:
     """All findings across docs and docstrings (empty when clean)."""
     errors = []
@@ -97,6 +125,7 @@ def run_checks() -> list[str]:
             errors.append(f"{name}: file missing")
         else:
             errors.extend(check_markdown(path))
+    errors.extend(check_required_anchors(ROOT / "docs/ARCHITECTURE.md"))
     errors.extend(check_docstrings())
     return errors
 
