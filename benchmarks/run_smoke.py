@@ -17,9 +17,17 @@ script:
   NOCTUA depths and the deep-buffer NOCTUA_DEEP regime, where the
   per-event information quantum spans multiple pattern rounds (trains
   exceed one round and cruise-mode induction engages);
+* a sharded-backend sweep: an 8-rank deep-buffer multi-stream fabric
+  run sequentially and on the sharded backend (``--backend``, default
+  ``process``) at each ``--shards`` count (default 2 and 4), with
+  cycle-exactness enforced and the honest sharded-vs-sequential
+  wall-clock ratio recorded (parallelism has to beat the per-epoch
+  boundary-batch and synchronisation overhead; at small fabrics it may
+  not — the ratio is reported either way);
 * headline: per-hop-count speedups at the largest stream size, their
   replication/cruise rates for both buffer regimes, the deep-vs-shallow
-  4-hop ratio, and the collective planner hit rates.
+  4-hop ratio, the collective planner hit rates, and the
+  sharded-vs-sequential ratios per shard count.
 
 Every field is documented in ``benchmarks/README.md``.
 
@@ -27,11 +35,13 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke.py [--quick]
         [--fail-below-parity [THRESHOLD]]
+        [--backend sharded|process] [--shards 2,4]
 
 ``--fail-below-parity`` exits non-zero if any burst point's speedup
 drops below THRESHOLD x per-flit (default 0.85 — parity with an
-allowance for timer noise on shared CI runners). Cycle divergence always
-fails, regardless of flags.
+allowance for timer noise on shared CI runners), or any sharded point
+below the catastrophic floor ``min(THRESHOLD, 0.2)`` x sequential.
+Cycle divergence always fails, regardless of flags.
 """
 
 from __future__ import annotations
@@ -44,6 +54,8 @@ from pathlib import Path
 
 from repro.core.config import NOCTUA, NOCTUA_DEEP
 from repro.core.datatypes import SMI_FLOAT
+from repro.codegen.metadata import OpDecl
+from repro.core.program import SMIProgram
 from repro.harness.runners import (
     measure_bcast_sim_us,
     measure_reduce_sim_us,
@@ -69,6 +81,13 @@ COLL_RANKS = 4
 #: the shallow preset (their support kernels bound batching, not buffer
 #: depth) to keep the CI run short.
 BUFFER_PRESETS = (("noctua", NOCTUA), ("deep", NOCTUA_DEEP))
+
+#: Per-stream element counts for the sharded-backend sweep (an 8-rank
+#: deep-buffer fabric with one neighbour stream per rank pair).
+SHARD_STREAM_ELEMENTS = 1 << 15
+QUICK_SHARD_STREAM_ELEMENTS = 1 << 13
+#: Shard counts swept by default (overridable with --shards).
+SHARD_COUNTS = (2, 4)
 
 
 def _best_of(fn, repeats: int):
@@ -96,7 +115,8 @@ def run_stream_points(sizes, repeats):
             for n in sizes:
                 point = {"kind": "bandwidth", "elements": int(n),
                          "bytes": int(n) * SMI_FLOAT.size, "hops": hops,
-                         "buffers": buffers}
+                         "buffers": buffers, "backend": "sequential",
+                         "shards": 1}
                 for mode in (False, True):
                     cfg = preset.with_(burst_mode=mode)
                     stats: dict = {}
@@ -120,7 +140,8 @@ def run_collective_points(sizes, repeats):
     for kind, measure in (("bcast", measure_bcast_sim_us),
                           ("reduce", measure_reduce_sim_us)):
         for n in sizes:
-            point = {"kind": kind, "elements": int(n), "ranks": COLL_RANKS}
+            point = {"kind": kind, "elements": int(n), "ranks": COLL_RANKS,
+                     "backend": "sequential", "shards": 1}
             for mode in (False, True):
                 cfg = NOCTUA.with_(burst_mode=mode)
                 stats: dict = {}
@@ -135,6 +156,89 @@ def run_collective_points(sizes, repeats):
                 if mode:
                     point["planner"] = stats
             points.append(_finish_point(point))
+    return points
+
+
+def measure_multistream_cycles(n, config, planner_stats=None,
+                               num_ranks=8):
+    """One neighbour stream per rank pair over a ``num_ranks``-rank bus.
+
+    Every rank both sends and receives (rank 0 sends only, the last
+    rank receives only), so every shard of any cut carries real work —
+    the scaling workload for the sharded-backend sweep. Returns the
+    global end cycle (max per-rank finish). Results flow through
+    ``smi.store`` so the workload runs identically under the process
+    backend.
+    """
+    import numpy as np
+
+    from repro.network.topology import bus
+    from repro.simulation.stats import collect_planner_stats
+
+    topology = noctua_bus() if num_ranks == 8 else bus(num_ranks)
+    prog = SMIProgram(topology, config=config)
+    data = np.zeros(n, dtype=np.float32)
+
+    def kernel(smi):
+        if smi.rank < num_ranks - 1:
+            snd = smi.open_send_channel(n, SMI_FLOAT, smi.rank + 1, 0)
+            yield from snd.push_vec(data, width=8)
+        if smi.rank > 0:
+            rcv = smi.open_recv_channel(n, SMI_FLOAT, smi.rank - 1, 0)
+            yield from rcv.pop_vec(n, width=8)
+        smi.store("end", smi.cycle)
+
+    for rank in range(num_ranks):
+        ops = []
+        if rank < num_ranks - 1:
+            ops.append(OpDecl("send", 0, SMI_FLOAT, peer=rank + 1))
+        if rank > 0:
+            ops.append(OpDecl("recv", 0, SMI_FLOAT, peer=rank - 1))
+        prog.add_kernel(kernel, rank=rank, ops=ops, name="stream")
+    res = prog.run(max_cycles=500_000_000)
+    assert res.completed, res.reason
+    if planner_stats is not None:
+        stats = collect_planner_stats(res.transport)
+        planner_stats.update(
+            windows=stats.windows, takes=stats.takes,
+            hit_rate=round(stats.hit_rate, 4),
+            mean_window=round(stats.mean_window, 2),
+            coplans=stats.coplans, replications=stats.replications,
+            replicated_rounds=stats.replicated_rounds,
+            mean_train_rounds=round(stats.mean_train_rounds, 2),
+            cruise_rounds=stats.cruise_rounds,
+        )
+    return max(res.store(r, "end") for r in range(num_ranks))
+
+
+def run_shard_points(n, repeats, backend="process", shard_counts=SHARD_COUNTS):
+    """Sharded-vs-sequential sweep on the 8-rank deep-buffer fabric."""
+    points = []
+    base = NOCTUA_DEEP
+    cycles_seq, wall_seq = _best_of(
+        lambda: measure_multistream_cycles(n, base), repeats)
+    for shards in shard_counts:
+        cfg = base.with_(backend=backend, shards=shards)
+        stats: dict = {}
+        cycles_shard, wall_shard = _best_of(
+            lambda: measure_multistream_cycles(n, cfg, planner_stats=stats),
+            repeats,
+        )
+        points.append({
+            "kind": "shard_stream",
+            "elements": int(n),
+            "ranks": 8,
+            "buffers": "deep",
+            "backend": backend,
+            "shards": shards,
+            "cycles_seq": int(cycles_seq),
+            "cycles_shard": int(cycles_shard),
+            "cycle_exact": cycles_seq == cycles_shard,
+            "wall_s_seq": round(wall_seq, 4),
+            "wall_s_shard": round(wall_shard, 4),
+            "speedup": round(wall_seq / max(wall_shard, 1e-9), 2),
+            "planner": stats,
+        })
     return points
 
 
@@ -180,6 +284,14 @@ def build_headline(points):
                 biggest["planner"]["windows"]
             headline[f"{kind}_planner_hit_rate"] = \
                 biggest["planner"]["hit_rate"]
+    shard = [p for p in points if p["kind"] == "shard_stream"]
+    if shard:
+        # Honest sharded-vs-sequential wall ratios: >1 means the forked
+        # workers beat the boundary-exchange overhead; <1 is reported
+        # as-is (small fabrics may not amortise the epochs).
+        headline["shard_backend"] = shard[0]["backend"]
+        for p in shard:
+            headline[f"shard_vs_seq_{p['shards']}shards"] = p["speedup"]
     return headline
 
 
@@ -194,14 +306,36 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None,
                         help="output path (default: BENCH_smoke.json "
                              "next to this script)")
+    parser.add_argument("--backend", default="process",
+                        choices=("sharded", "process"),
+                        help="sharded backend measured by the shard sweep "
+                             "(default: process — forked workers)")
+    parser.add_argument("--shards", default=",".join(map(str, SHARD_COUNTS)),
+                        help="comma-separated shard counts for the shard "
+                             "sweep (default: 2,4; empty string skips it)")
     args = parser.parse_args(argv)
 
     repeats = 2 if args.quick else 3
     stream_sizes = QUICK_STREAM_SIZES if args.quick else STREAM_SIZES
     coll_sizes = QUICK_COLL_SIZES if args.quick else COLL_SIZES
+    shard_n = (QUICK_SHARD_STREAM_ELEMENTS if args.quick
+               else SHARD_STREAM_ELEMENTS)
+    shard_counts = tuple(int(s) for s in args.shards.split(",") if s)
+
+    backend = args.backend
+    if backend == "process":
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            print("note: fork unavailable; shard sweep falls back to the "
+                  "in-process sharded backend", file=sys.stderr)
+            backend = "sharded"
 
     points = run_stream_points(stream_sizes, repeats)
     points += run_collective_points(coll_sizes, repeats)
+    if shard_counts:
+        points += run_shard_points(shard_n, repeats, backend=backend,
+                                   shard_counts=shard_counts)
     report = {
         "benchmark": "smoke",
         "quick": bool(args.quick),
@@ -214,6 +348,14 @@ def main(argv=None) -> int:
     out.write_text(json.dumps(report, indent=2) + "\n")
 
     for p in points:
+        if p["kind"] == "shard_stream":
+            print(f"{p['kind']:9s} {p['backend']:>7s}x{p['shards']}    "
+                  f"n={p['elements']:7d}  "
+                  f"cycles={p['cycles_shard']:9d} exact={p['cycle_exact']}  "
+                  f"seq={p['wall_s_seq']:.3f}s "
+                  f"shard={p['wall_s_shard']:.3f}s "
+                  f"speedup={p['speedup']:.2f}x")
+            continue
         tag = (f"hops={p['hops']} {p['buffers'][:4]}"
                if p["kind"] == "bandwidth" else f"ranks={p['ranks']}")
         planner = p["planner"]
@@ -230,8 +372,19 @@ def main(argv=None) -> int:
     print(f"headline: {report['headline']}")
     print(f"wrote {out}")
     if not report["headline"]["all_cycle_exact"]:
-        print("ERROR: burst mode diverged from the per-flit reference",
-              file=sys.stderr)
+        for p in points:
+            if p["cycle_exact"]:
+                continue
+            if p["kind"] == "shard_stream":
+                print(f"ERROR: sharded backend ({p['backend']} x"
+                      f"{p['shards']}) diverged from the sequential "
+                      f"reference ({p['cycles_shard']} vs "
+                      f"{p['cycles_seq']} cycles)", file=sys.stderr)
+            else:
+                print(f"ERROR: burst mode diverged from the per-flit "
+                      f"reference ({p['kind']} n={p['elements']}: "
+                      f"{p['cycles_burst']} vs {p['cycles_flit']} "
+                      "cycles)", file=sys.stderr)
         return 1
     if args.fail_below_parity is not None:
         # Points whose per-flit wall time is a few milliseconds measure
@@ -241,13 +394,23 @@ def main(argv=None) -> int:
         # close to parity (their support kernels are per-flit rate-1, so
         # the planner has little to batch) — gate them against a wider
         # margin that still catches catastrophic regressions without
-        # flaking on timer noise.
+        # flaking on timer noise. Sharded points measure wall-clock
+        # against the sequential backend: parallel speedup depends on
+        # fabric size vs boundary-exchange overhead, so they are gated
+        # only against a catastrophic floor (cycle divergence still
+        # fails unconditionally above).
         def threshold(p):
+            if p["kind"] == "shard_stream":
+                return min(args.fail_below_parity, 0.2)
             if p["kind"] == "bandwidth":
                 return args.fail_below_parity
             return min(args.fail_below_parity, 0.7)
 
-        gated = [p for p in points if p["wall_s_flit"] >= 0.025]
+        def base_wall(p):
+            return (p["wall_s_seq"] if p["kind"] == "shard_stream"
+                    else p["wall_s_flit"])
+
+        gated = [p for p in points if base_wall(p) >= 0.025]
         slow = [p for p in gated if p["speedup"] < threshold(p)]
         if slow:
             for p in slow:

@@ -46,5 +46,6 @@ from .core import (
 )
 from .codegen import OpDecl
 from .network import Topology, bus, compute_routes, noctua_bus, noctua_torus, ring, torus2d
+from .shard import Partition, partition_topology
 
 __version__ = "1.0.0"

@@ -113,6 +113,30 @@ class HardwareConfig:
         :class:`repro.simulation.stats.GapHistogram`), used by the polling
         ablation benchmark. Off by default because it costs a dict update
         per accepted packet.
+    backend:
+        Simulation execution backend (see :mod:`repro.shard`):
+        ``"sequential"`` (default) runs the whole fabric on one engine;
+        ``"sharded"`` partitions the fabric into ``shards`` pieces, each
+        on its own engine, advanced in conservative epochs synchronised
+        on SupplySchedule horizons (in-process — the cycle-exactness
+        reference for the parallel plane); ``"process"`` runs the same
+        epoch protocol with one forked worker process per shard,
+        exchanging pickled boundary batches — actual multi-core
+        parallelism. All backends are cycle-exact: on completed runs,
+        identical ``RunResult.cycles``, per-rank stores, per-FIFO
+        push/pop counts and occupancy peaks (``tests/test_shard.py``
+        and the fuzz suite enforce it); only simulator wall-clock
+        differs. Two scoping notes shared with the burst plane itself:
+        a ``max_cycles``-truncated run pins ``cycles`` and ``reason``
+        but not per-FIFO counters (counters tally *committed* events,
+        and the planes commit different distances past an arbitrary
+        cap — sequential burst vs per-flit differ there too), and the
+        ``bursts``/``burst_items`` diagnostics describe each plane's
+        own batching, never an invariant.
+    shards:
+        Number of fabric partitions for the sharded backends. Must be 1
+        for the sequential backend and ``1 <= shards <= num_ranks``
+        otherwise (the partitioner validates against the topology).
     """
 
     clock_hz: float = DEFAULT_CLOCK_HZ
@@ -130,6 +154,11 @@ class HardwareConfig:
     pattern_replication: bool = True
     cruise_induction: bool = True
     record_accepts: bool = False
+    backend: str = "sequential"
+    shards: int = 1
+
+    #: Valid values of :attr:`backend`.
+    BACKENDS = ("sequential", "sharded", "process")
 
     def __post_init__(self) -> None:
         if self.clock_hz <= 0:
@@ -158,6 +187,18 @@ class HardwareConfig:
         if self.max_ranks > 256 or self.max_ports > 256:
             raise ConfigurationError(
                 "packet header encodes rank/port in 1 byte each; max is 256"
+            )
+        if self.backend not in self.BACKENDS:
+            known = ", ".join(self.BACKENDS)
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r} (known: {known})"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1: {self.shards}")
+        if self.backend == "sequential" and self.shards != 1:
+            raise ConfigurationError(
+                "shards > 1 requires backend='sharded' or 'process' "
+                f"(got backend='sequential', shards={self.shards})"
             )
 
     # ------------------------------------------------------------------

@@ -76,12 +76,18 @@ class SMIProgram:
         routing_scheme: str = "auto",
         memory: MemoryConfig | None = None,
         validate_wire: bool = False,
+        partition=None,
     ) -> None:
         self.topology = topology
         self.config = config
         self.routing_scheme = routing_scheme
         self.memory_config = memory
         self.validate_wire = validate_wire
+        # Sharded backends only: an explicit fabric cut — either a
+        # repro.shard.Partition or a list of per-shard rank lists —
+        # overriding the automatic min-cut partitioner. Ignored by the
+        # sequential backend.
+        self.partition = partition
         self._kernels: list[KernelSpec] = []
         self._manual_decls: list[tuple[int, OpDecl]] = []
 
@@ -184,9 +190,21 @@ class SMIProgram:
         return generate(self.build_plan(), self.topology, self.config)
 
     def run(self, max_cycles: int | None = None) -> ProgramResult:
-        """Build everything and simulate until all kernels finish."""
+        """Build everything and simulate until all kernels finish.
+
+        ``HardwareConfig.backend`` selects the execution engine: the
+        sequential single-engine path below, or the sharded backends
+        (:mod:`repro.shard`), which partition the fabric, simulate the
+        shards on separate engines (optionally in forked worker
+        processes) and synchronise them in conservative epochs —
+        cycle-exact either way.
+        """
         if not self._kernels:
             raise ConfigurationError("program has no kernels")
+        if self.config.backend != "sequential":
+            from ..shard.backend import run_sharded
+
+            return run_sharded(self, max_cycles)
         engine = Engine()
         routes = compute_routes(self.topology, self.routing_scheme)
         plan = self.build_plan()

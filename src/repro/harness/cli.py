@@ -5,6 +5,18 @@ Usage::
     smi-bench table1|table2|table3|table4|fig9|fig10|fig11|fig13|fig15|fig16
     smi-bench all            # everything (slowest)
     smi-bench fig9 --full    # include paper-scale model-only points
+    smi-bench fig9 --preset noctua-deep       # deep-buffer regime
+    smi-bench fig10 --backend sharded --shards 2   # sharded simulation
+
+``--preset`` selects a named hardware preset (``noctua`` /
+``noctua-deep`` / ``noctua-xdeep``, see
+:func:`repro.core.config.hardware_preset`), and ``--backend`` the
+simulation backend (``sequential`` / ``sharded`` / ``process``, see
+:mod:`repro.shard`) with ``--shards`` fabric partitions — so any
+experiment runs under any buffer regime and execution backend without
+code edits. The flags reach the measurement runners through the
+``REPRO_PRESET`` / ``REPRO_BACKEND`` / ``REPRO_SHARDS`` environment
+variables (:func:`repro.harness.runners.default_config`).
 """
 
 from __future__ import annotations
@@ -100,6 +112,12 @@ def _print_series(series: dict, sizes: list[int], size_label: str,
     print(format_table([size_label] + list(series), rows, title=title))
 
 
+def _preset_names() -> tuple[str, ...]:
+    from repro.core.config import HW_PRESETS
+
+    return tuple(sorted(HW_PRESETS))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="smi-bench",
@@ -109,9 +127,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="extend sweeps to paper-scale sizes "
                              "(model-backed points)")
+    parser.add_argument("--preset", default=None,
+                        choices=_preset_names(),
+                        help="hardware preset the simulated points run on "
+                             "(default: noctua)")
+    parser.add_argument("--backend", default=None,
+                        choices=("sequential", "sharded", "process"),
+                        help="simulation backend for the simulated points "
+                             "(default: sequential)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="fabric partitions for the sharded backends "
+                             "(default: 2; requires --backend)")
     args = parser.parse_args(argv)
+    if args.shards is not None and args.backend not in ("sharded",
+                                                        "process"):
+        parser.error("--shards requires --backend sharded|process")
     if args.full:
         os.environ["REPRO_FULL_SWEEP"] = "1"
+    if args.preset:
+        os.environ["REPRO_PRESET"] = args.preset
+    if args.backend:
+        os.environ["REPRO_BACKEND"] = args.backend
+        os.environ["REPRO_SHARDS"] = str(args.shards or 2)
     # The benchmark modules live in benchmarks/, importable from the repo
     # root; fall back gracefully when invoked from elsewhere.
     here = os.path.dirname(os.path.dirname(os.path.dirname(

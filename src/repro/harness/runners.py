@@ -5,16 +5,26 @@ to a size threshold, extends the sweep with the validated analytical model
 where cycle simulation would be too slow (points are labelled ``sim`` /
 ``model``), adds the host-baseline curve, and returns rows ready for a
 paper-vs-measured report.
+
+When a runner is called without an explicit ``config``, the platform
+model is resolved by :func:`default_config` from the environment —
+``REPRO_PRESET`` (a :data:`repro.core.config.HW_PRESETS` name),
+``REPRO_BACKEND`` and ``REPRO_SHARDS`` — which is how the ``smi-bench``
+CLI's ``--preset``/``--backend`` flags reach every experiment without
+code edits. Runner kernels communicate their measurements through
+``smi.store`` (not closures), so every runner works unchanged under the
+process-sharded backend, where kernels execute in worker processes.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..codegen.metadata import OpDecl
-from ..core.config import NOCTUA, HardwareConfig
+from ..core.config import HardwareConfig, hardware_preset
 from ..core.datatypes import SMI_FLOAT, SMI_INT, SMIDatatype
 from ..core.program import SMIProgram
 from ..hostexec import NOCTUA_HOST, HostPathModel
@@ -29,6 +39,23 @@ from ..perfmodel import (
 #: Element-count threshold above which sweeps switch from the cycle
 #: simulator to the validated analytical model.
 SIM_ELEMENT_LIMIT = 1 << 17  # 128 Ki elements (512 KiB of floats)
+
+
+def default_config() -> HardwareConfig:
+    """The runners' default platform model, environment-overridable.
+
+    ``REPRO_PRESET`` selects a named :data:`~repro.core.config.HW_PRESETS`
+    entry (default ``noctua``); ``REPRO_BACKEND`` and ``REPRO_SHARDS``
+    select the execution backend on top (default sequential). The
+    ``smi-bench`` CLI sets these from ``--preset``/``--backend``.
+    """
+    config = hardware_preset(os.environ.get("REPRO_PRESET", "noctua"))
+    backend = os.environ.get("REPRO_BACKEND")
+    if backend:
+        shards = int(os.environ.get("REPRO_SHARDS", "2"))
+        config = config.with_(backend=backend,
+                              shards=1 if backend == "sequential" else shards)
+    return config
 
 
 # ----------------------------------------------------------------------
@@ -72,7 +99,7 @@ def measure_stream_sim(
     n_elements: int,
     hops: int,
     dtype: SMIDatatype = SMI_FLOAT,
-    config: HardwareConfig = NOCTUA,
+    config: HardwareConfig | None = None,
     topology: Topology | None = None,
     app_width: int = 8,
     planner_stats: dict | None = None,
@@ -83,9 +110,9 @@ def measure_stream_sim(
     planner counters — window hit rate, mean committed window length,
     cascade co-plans — for the perf-trajectory reports.
     """
+    config = config or default_config()
     topology = topology or noctua_bus()
     prog = SMIProgram(topology, config=config)
-    marks: dict[str, int] = {}
 
     def snd(smi):
         ch = smi.open_send_channel(n_elements, dtype, hops, 0)
@@ -95,24 +122,25 @@ def measure_stream_sim(
     def rcv(smi):
         ch = smi.open_recv_channel(n_elements, dtype, 0, 0)
         yield from ch.pop_vec(n_elements, width=app_width)
-        marks["end"] = smi.cycle
+        smi.store("end", smi.cycle)
 
     prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, dtype, peer=hops)])
     prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, dtype, peer=0)])
     res = prog.run(max_cycles=500_000_000)
     assert res.completed, res.reason
     _snapshot_planner_stats(res.transport, planner_stats)
-    return marks["end"]
+    return res.store(hops, "end")
 
 
 def bandwidth_sweep(
     sizes_bytes: list[int],
     hops: int,
-    config: HardwareConfig = NOCTUA,
+    config: HardwareConfig | None = None,
     dtype: SMIDatatype = SMI_FLOAT,
     sim_limit_elements: int = SIM_ELEMENT_LIMIT,
 ) -> list[SweepPoint]:
     """SMI payload bandwidth (Gbit/s) per message size (Fig. 9 series)."""
+    config = config or default_config()
     points = []
     for size in sizes_bytes:
         n = max(1, size // dtype.size)
@@ -141,13 +169,13 @@ def host_bandwidth_sweep(
 # ----------------------------------------------------------------------
 def measure_pingpong_us(
     hops: int,
-    config: HardwareConfig = NOCTUA,
+    config: HardwareConfig | None = None,
     topology: Topology | None = None,
 ) -> float:
     """Half round-trip of a 1-element message over ``hops`` hops (§5.3.2)."""
+    config = config or default_config()
     topology = topology or noctua_bus()
     prog = SMIProgram(topology, config=config)
-    marks: dict[str, int] = {}
 
     def origin(smi):
         s = smi.open_send_channel(1, SMI_INT, hops, 0)
@@ -155,7 +183,7 @@ def measure_pingpong_us(
         start = smi.cycle
         yield from smi.push(s, 1)
         yield from smi.pop(r)
-        marks["rtt"] = smi.cycle - start
+        smi.store("rtt", smi.cycle - start)
 
     def reflector(smi):
         r = smi.open_recv_channel(1, SMI_INT, 0, 0)
@@ -171,20 +199,20 @@ def measure_pingpong_us(
                          OpDecl("send", 1, SMI_INT, peer=0)])
     res = prog.run(max_cycles=5_000_000)
     assert res.completed, res.reason
-    return config.cycles_to_us(marks["rtt"]) / 2
+    return config.cycles_to_us(res.store(0, "rtt")) / 2
 
 
 # ----------------------------------------------------------------------
 # Table 4 — injection rate
 # ----------------------------------------------------------------------
 def measure_injection_cycles(read_burst: int, packets: int = 400,
-                             config: HardwareConfig = NOCTUA) -> float:
+                             config: HardwareConfig | None = None) -> float:
     """Average cycles per packet injected from one endpoint (§5.3.3).
 
     4 CKS/CKR pairs are instantiated (torus wiring); one application
     endpoint streams continuously; the CKS therefore polls 5 inputs.
     """
-    cfg = config.with_(read_burst=read_burst)
+    cfg = (config or default_config()).with_(read_burst=read_burst)
     n = packets * SMI_FLOAT.elements_per_packet
     cycles = measure_stream_sim(n, 1, SMI_FLOAT, cfg, topology=noctua_torus())
     # Subtract the constant path latency to isolate the steady-state gap.
@@ -197,12 +225,12 @@ def measure_injection_cycles(read_burst: int, packets: int = 400,
 # ----------------------------------------------------------------------
 def measure_bcast_sim_us(
     n: int, topology: Topology, num_ranks: int,
-    config: HardwareConfig = NOCTUA,
+    config: HardwareConfig | None = None,
     planner_stats: dict | None = None,
 ) -> float:
+    config = config or default_config()
     prog = SMIProgram(topology, config=config)
     comm_members = list(range(num_ranks))
-    marks: dict[int, int] = {}
 
     def kernel(smi):
         comm = (smi.comm_world.sub(comm_members)
@@ -213,23 +241,24 @@ def measure_bcast_sim_us(
         chan = smi.open_bcast_channel(n, SMI_FLOAT, 0, 0, comm)
         for i in range(n):
             yield from chan.bcast(float(i) if smi.rank == 0 else None)
-        marks[smi.rank] = smi.cycle
+        smi.store("end", smi.cycle)
 
     prog.add_kernel(kernel, ranks="all", ops=[OpDecl("bcast", 0, SMI_FLOAT)])
     res = prog.run(max_cycles=500_000_000)
     assert res.completed, res.reason
     _snapshot_planner_stats(res.transport, planner_stats)
-    return config.cycles_to_us(max(marks.values()))
+    ends = [res.store(r, "end") for r in comm_members]
+    return config.cycles_to_us(max(ends))
 
 
 def measure_reduce_sim_us(
     n: int, topology: Topology, num_ranks: int,
-    config: HardwareConfig = NOCTUA,
+    config: HardwareConfig | None = None,
     planner_stats: dict | None = None,
 ) -> float:
+    config = config or default_config()
     prog = SMIProgram(topology, config=config)
     comm_members = list(range(num_ranks))
-    marks: dict[int, int] = {}
 
     def kernel(smi):
         from ..core.ops import SMI_ADD
@@ -242,7 +271,7 @@ def measure_reduce_sim_us(
         chan = smi.open_reduce_channel(n, SMI_FLOAT, SMI_ADD, 0, 0, comm)
         for i in range(n):
             yield from chan.reduce(float(smi.rank + i))
-        marks[smi.rank] = smi.cycle
+        smi.store("end", smi.cycle)
 
     from ..core.ops import SMI_ADD
 
@@ -251,7 +280,8 @@ def measure_reduce_sim_us(
     res = prog.run(max_cycles=500_000_000)
     assert res.completed, res.reason
     _snapshot_planner_stats(res.transport, planner_stats)
-    return config.cycles_to_us(max(marks.values()))
+    ends = [res.store(r, "end") for r in comm_members]
+    return config.cycles_to_us(max(ends))
 
 
 def _avg_hops_from_root(topology: Topology, num_ranks: int) -> float:
@@ -264,10 +294,11 @@ def collective_sweep(
     sizes_elements: list[int],
     topology: Topology,
     num_ranks: int,
-    config: HardwareConfig = NOCTUA,
+    config: HardwareConfig | None = None,
     sim_limit_elements: int = 1 << 13,
 ) -> list[SweepPoint]:
     """SMI collective time (us) per message size, sim + model points."""
+    config = config or default_config()
     avg_hops = _avg_hops_from_root(topology, num_ranks)
     diameter = max(topology.hop_matrix()[0][d] for d in range(num_ranks))
     points = []

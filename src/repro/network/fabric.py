@@ -23,6 +23,7 @@ class Fabric:
         topology: Topology,
         config: HardwareConfig,
         validate_wire: bool = False,
+        local_ranks: frozenset[int] | set[int] | None = None,
     ) -> None:
         if topology.num_interfaces > config.num_interfaces:
             raise TopologyError(
@@ -32,12 +33,16 @@ class Fabric:
         self.engine = engine
         self.topology = topology
         self.config = config
+        self.local_ranks = local_ranks
         # Directed links keyed by transmitting endpoint (rank, iface).
         self.tx_link: dict[tuple[int, int], Link] = {}
         # Directed links keyed by receiving endpoint (rank, iface).
         self.rx_link: dict[tuple[int, int], Link] = {}
         for conn in topology.connections:
             for src, dst in ((conn.a, conn.b), (conn.b, conn.a)):
+                if local_ranks is not None and src[0] not in local_ranks \
+                        and dst[0] not in local_ranks:
+                    continue  # a sharded build only owns links it touches
                 link = Link(
                     engine, src, dst,
                     latency_cycles=config.link_latency_cycles,
@@ -58,6 +63,23 @@ class Fabric:
     def links(self) -> list[Link]:
         """All directed links."""
         return list(self.tx_link.values())
+
+    def boundary_links(self) -> list[tuple[Link, bool]]:
+        """Directed links crossing the shard cut (sharded builds only).
+
+        Each entry is ``(link, src_is_local)``: ``True`` for the
+        transmitting (producer) side of the cut, ``False`` for the
+        receiving (consumer) side. Empty for unsharded builds.
+        """
+        if self.local_ranks is None:
+            return []
+        out = []
+        for link in self.tx_link.values():
+            src_local = link.src[0] in self.local_ranks
+            dst_local = link.dst[0] in self.local_ranks
+            if src_local != dst_local:
+                out.append((link, src_local))
+        return out
 
     def total_packets(self) -> int:
         """Packets carried across the whole fabric."""

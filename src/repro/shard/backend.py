@@ -1,0 +1,412 @@
+"""Execution backends: sequential reference, in-process shards, workers.
+
+Three ways to execute an :class:`~repro.core.program.SMIProgram`,
+selected by ``HardwareConfig.backend``:
+
+* **sequential** — the reference: one
+  :class:`~repro.simulation.engine.Engine` simulates the whole fabric
+  (this is the path inside ``SMIProgram.run`` itself; this module never
+  sees it).
+* **sharded** — the fabric is partitioned
+  (:mod:`repro.shard.partitioner`), each shard gets its own engine and
+  its own transport plane with boundary proxies at the cut
+  (:mod:`repro.shard.proxy`), and the epoch synchroniser
+  (:mod:`repro.shard.timesync`) advances them in conservative rounds —
+  all inside the current process. No parallelism; this backend exists as
+  the deterministic cycle-exactness reference for the epoch protocol
+  and is what the equivalence/fuzz suites sweep.
+* **process** — the same shards and the same protocol, but each shard
+  runs in a forked worker process and the coordinator exchanges pickled
+  boundary batches over pipes. Fork (not spawn) start is required: the
+  shard runtimes — application kernel generators included — are built in
+  the parent and inherited by the workers, so only the boundary batches
+  and the final reports ever cross the process boundary.
+
+On completed runs all three produce identical ``ProgramResult.cycles``,
+identical per-rank stores/returns, and identical per-FIFO push/pop
+counts and occupancy peaks; only simulator wall-clock differs. (A
+``max_cycles``-truncated run pins ``cycles``/``reason`` only: per-FIFO
+counters tally *committed* events, and the planes legitimately commit
+different distances past an arbitrary cap — exactly as the sequential
+burst plane already differs from per-flit there.) Speedup comes from
+genuine
+multi-core parallelism in the process backend and scales with fabric
+size over cut size — at small fabrics the per-epoch pickling and
+synchronisation overhead can eat the win (``benchmarks/run_smoke.py``
+reports the measured ratio honestly either way).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+from ..core.comm import SMIComm
+from ..core.config import HardwareConfig
+from ..core.context import SMIContext
+from ..core.errors import ConfigurationError
+from ..core.program import ProgramResult, SMIProgram
+from ..network.routing import compute_routes
+from ..simulation.engine import Engine
+from ..simulation.memory import BoardMemory
+from ..simulation.stats import PlannerStats, collect_planner_stats
+from ..transport.builder import build_transport
+from .partitioner import Partition, partition_topology, validate_cut
+from .proxy import BoundaryRx, BoundaryTx
+from .timesync import BoundaryChannel, EpochReport, EpochSynchronizer
+
+
+@dataclass
+class FinalReport:
+    """One shard's end-of-run payload (picklable for the process backend)."""
+
+    stores: dict
+    returns: dict
+    fifo_stats: dict
+    planner_stats: PlannerStats
+
+
+class _ShardRuntime:
+    """One shard's engine, transport plane, proxies and app kernels."""
+
+    def __init__(self, index: int, ranks: tuple[int, ...],
+                 program: SMIProgram, plan, routes) -> None:
+        self.index = index
+        self.ranks = ranks
+        local = frozenset(ranks)
+        self.engine = Engine()
+        # Clamp occupancy-log folds from the very first event: a shard
+        # may run ahead of the (not yet known) global end cycle, and the
+        # end-of-run stats must stay reconstructible exactly there.
+        self.engine.stats_fold_limit = 0
+        self.transport = build_transport(
+            self.engine, plan, routes, program.config,
+            validate_wire=program.validate_wire, shard_ranks=local,
+        )
+        comm_world = SMIComm.world(program.topology.num_ranks)
+        self.stores: dict = {}
+        memories: dict[int, BoardMemory] = {}
+        if program.memory_config is not None:
+            for rank in ranks:
+                memories[rank] = BoardMemory(
+                    self.engine, rank,
+                    num_banks=program.memory_config.num_banks,
+                    width_elements=program.memory_config.bank_width_elements,
+                )
+        self.procs: list[tuple[str, int, object]] = []
+        for spec in program._kernels:
+            for rank in spec.ranks:
+                if rank not in local:
+                    continue
+                ctx = SMIContext(
+                    rank=rank,
+                    transport=self.transport.rank(rank),
+                    config=program.config,
+                    engine=self.engine,
+                    comm_world=comm_world,
+                    stores=self.stores,
+                    memory=memories.get(rank),
+                )
+                proc = self.engine.spawn(
+                    spec.fn(ctx), name=f"{spec.name}@rank{rank}"
+                )
+                self.procs.append((spec.name, rank, proc))
+        # Boundary proxies, keyed by the directed link's (src rank, iface).
+        self.tx: dict[tuple[int, int], BoundaryTx] = {}
+        self.rx: dict[tuple[int, int], BoundaryRx] = {}
+        for link, src_local in self.transport.boundaries:
+            key = link.src
+            if src_local:
+                self.tx[key] = BoundaryTx(key, link)
+            else:
+                dst_rank, dst_iface = link.dst
+                consumer = self.transport.rank(dst_rank).ckr[dst_iface]
+                self.rx[key] = BoundaryRx(key, link, consumer.proc)
+
+    # ------------------------------------------------------------------
+    def epoch(self, bound: int, ships: dict, acks: dict,
+              watermark: int = 0) -> EpochReport:
+        """Apply inbound boundary batches, run one epoch, collect."""
+        if watermark > self.engine.stats_fold_limit:
+            self.engine.stats_fold_limit = watermark
+        for key in sorted(acks):
+            self.tx[key].apply(acks[key])
+        for key in sorted(ships):
+            self.rx[key].apply(ships[key])
+        reason, executed = self.engine.run_until(bound)
+        memo: dict = {}
+        out_ships = {
+            key: self.tx[key].collect(self.engine, bound, memo)
+            for key in sorted(self.tx)
+        }
+        out_acks = {
+            key: self.rx[key].collect(self.engine, bound, memo)
+            for key in sorted(self.rx)
+        }
+        return EpochReport(
+            reason=reason,
+            executed=executed,
+            ships=out_ships,
+            acks=out_acks,
+            live_workers=self.engine.live_workers,
+            last_worker_finish=self.engine.last_worker_finish,
+            worker_floor=self.engine.live_worker_floor(memo),
+        )
+
+    def dump_blocked(self) -> list[str]:
+        return self.engine.blocked_process_dump()
+
+    def finish(self, end: int) -> FinalReport:
+        """Final stats snapshot, swept to the global end cycle.
+
+        The receiving half of every boundary FIFO is skipped: after the
+        drain phase both halves carry identical logs, and keeping only
+        the transmitting half makes the merged per-FIFO stats a plain
+        dict union that exactly matches a sequential run.
+        """
+        skip = {rx.fifo.name for rx in self.rx.values()}
+        fifo_stats = {}
+        for f in self.engine.fifos:
+            if f.name in skip:
+                continue
+            pushes, pops = f.counts_at(end)
+            fifo_stats[f.name] = {
+                "pushes": pushes,
+                "pops": pops,
+                "max_occupancy": f.max_occupancy_at(end),
+                "capacity": f.capacity,
+                "latency": f.latency,
+                "bursts": f.burst_stats.bursts,
+                "burst_items": f.burst_stats.items,
+            }
+        returns = {
+            (name, rank): proc.result for name, rank, proc in self.procs
+        }
+        return FinalReport(
+            stores=dict(self.stores),
+            returns=returns,
+            fifo_stats=fifo_stats,
+            planner_stats=collect_planner_stats(self.transport),
+        )
+
+
+# ----------------------------------------------------------------------
+# Shard handles: where a shard actually runs
+# ----------------------------------------------------------------------
+class LocalHandle:
+    """In-process shard: epochs execute synchronously on begin_epoch."""
+
+    def __init__(self, runtime: _ShardRuntime) -> None:
+        self.runtime = runtime
+        self._report: EpochReport | None = None
+
+    def begin_epoch(self, bound, ships, acks, watermark=0) -> None:
+        self._report = self.runtime.epoch(bound, ships, acks, watermark)
+
+    def finish_epoch(self) -> EpochReport:
+        report, self._report = self._report, None
+        return report
+
+    def dump_blocked(self) -> list[str]:
+        return self.runtime.dump_blocked()
+
+    def finish(self, end: int) -> FinalReport:
+        return self.runtime.finish(end)
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, runtime: _ShardRuntime) -> None:
+    """Forked worker loop: serve epoch/dump/finish commands over a pipe."""
+    try:
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            try:
+                if cmd == "epoch":
+                    payload = runtime.epoch(msg[1], msg[2], msg[3], msg[4])
+                elif cmd == "dump":
+                    payload = runtime.dump_blocked()
+                elif cmd == "finish":
+                    payload = runtime.finish(msg[1])
+                else:  # pragma: no cover - protocol guard
+                    raise RuntimeError(f"unknown shard command {cmd!r}")
+            except Exception as exc:  # ship the failure to the coordinator
+                try:
+                    conn.send(("error", exc))
+                except Exception:
+                    conn.send(("error", RuntimeError(
+                        f"shard {runtime.index}: {type(exc).__name__}: {exc}"
+                    )))
+                return
+            conn.send(("ok", payload))
+            if cmd == "finish":
+                return
+    except EOFError:  # pragma: no cover - coordinator went away
+        return
+
+
+class ProcessHandle:
+    """Forked-worker shard: boundary batches cross a pipe, pickled."""
+
+    def __init__(self, runtime: _ShardRuntime, ctx) -> None:
+        self.index = runtime.index
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_worker_main, args=(child, runtime), daemon=True,
+            name=f"smi-shard-{runtime.index}",
+        )
+        self._proc.start()
+        child.close()
+
+    def _recv(self):
+        try:
+            status, payload = self._conn.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard worker {self.index} died without reporting"
+            ) from None
+        if status == "error":
+            raise payload
+        return payload
+
+    def begin_epoch(self, bound, ships, acks, watermark=0) -> None:
+        self._conn.send(("epoch", bound, ships, acks, watermark))
+
+    def finish_epoch(self) -> EpochReport:
+        return self._recv()
+
+    def dump_blocked(self) -> list[str]:
+        self._conn.send(("dump",))
+        return self._recv()
+
+    def finish(self, end: int) -> FinalReport:
+        self._conn.send(("finish", end))
+        return self._recv()
+
+    def close(self) -> None:
+        if self._proc.is_alive():
+            self._proc.terminate()
+        self._proc.join(timeout=5)
+        self._conn.close()
+
+
+# ----------------------------------------------------------------------
+# Result facades
+# ----------------------------------------------------------------------
+class ShardedEngineView:
+    """Duck-typed stand-in for ``ProgramResult.engine`` (merged stats)."""
+
+    def __init__(self, fifo_stats: dict, cycle: int) -> None:
+        self._fifo_stats = fifo_stats
+        self.cycle = cycle
+
+    def fifo_stats(self) -> dict:
+        return self._fifo_stats
+
+
+class ShardedTransportView:
+    """Duck-typed stand-in for ``ProgramResult.transport``.
+
+    ``ranks`` holds the shards' real :class:`RankTransport` objects for
+    the in-process backend (workers' objects are unreachable from the
+    process backend, so there it stays empty);
+    ``planner_stats_snapshot`` carries the cluster-wide aggregate either
+    way, honoured by
+    :func:`repro.simulation.stats.collect_planner_stats`.
+    """
+
+    def __init__(self, config, routes, ranks: dict,
+                 planner_stats: PlannerStats) -> None:
+        self.config = config
+        self.routes = routes
+        self.ranks = ranks
+        self.planner_stats_snapshot = planner_stats
+
+    def rank(self, rank: int):
+        return self.ranks[rank]
+
+
+# ----------------------------------------------------------------------
+# Entry point (SMIProgram.run dispatches here for non-sequential backends)
+# ----------------------------------------------------------------------
+def resolve_partition(program: SMIProgram) -> Partition:
+    """The program's explicit partition, or the automatic min-cut one."""
+    explicit = getattr(program, "partition", None)
+    topology = program.topology
+    if explicit is None:
+        return partition_topology(topology, program.config.shards)
+    if isinstance(explicit, Partition):
+        return explicit
+    return partition_topology(topology, len(explicit), rank_lists=explicit)
+
+
+def run_sharded(program: SMIProgram,
+                max_cycles: int | None = None) -> ProgramResult:
+    """Partition, build per-shard planes, synchronise, merge results."""
+    config: HardwareConfig = program.config
+    partition = resolve_partition(program)
+    validate_cut(partition, program.topology, config)
+    shard_of = partition.shard_of()
+    use_processes = (config.backend == "process"
+                     and partition.num_shards > 1)
+    if use_processes:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                "backend='process' needs the fork start method (the shard "
+                "runtimes are built in the coordinator and inherited); "
+                "use backend='sharded' on this platform"
+            )
+        ctx = multiprocessing.get_context("fork")
+    routes = compute_routes(program.topology, program.routing_scheme)
+    plan = program.build_plan()
+    runtimes = [
+        _ShardRuntime(i, ranks, program, plan, routes)
+        for i, ranks in enumerate(partition.shards)
+    ]
+    channels = []
+    for i, rt in enumerate(runtimes):
+        for link, src_local in rt.transport.boundaries:
+            if not src_local:
+                continue
+            channels.append(BoundaryChannel(
+                key=link.src, src_shard=i,
+                dst_shard=shard_of[link.dst[0]],
+                latency=link.fifo.latency,
+            ))
+    if use_processes:
+        handles = [ProcessHandle(rt, ctx) for rt in runtimes]
+    else:
+        handles = [LocalHandle(rt) for rt in runtimes]
+    try:
+        sync = EpochSynchronizer(handles, channels)
+        outcome = sync.run(max_cycles)
+        finals = [handle.finish(outcome.cycles) for handle in handles]
+    finally:
+        for handle in handles:
+            handle.close()
+    stores: dict = {}
+    returns: dict = {}
+    fifo_stats: dict = {}
+    planner_stats = PlannerStats()
+    for final in finals:
+        stores.update(final.stores)
+        returns.update(final.returns)
+        fifo_stats.update(final.fifo_stats)
+        planner_stats = planner_stats.merge(final.planner_stats)
+    merged_ranks: dict = {}
+    if not use_processes:
+        for rt in runtimes:
+            merged_ranks.update(rt.transport.ranks)
+    return ProgramResult(
+        cycles=outcome.cycles,
+        elapsed_us=config.cycles_to_us(outcome.cycles),
+        reason=outcome.reason,
+        stores=stores,
+        returns=returns,
+        engine=ShardedEngineView(fifo_stats, outcome.cycles),
+        transport=ShardedTransportView(config, routes, merged_ranks,
+                                       planner_stats),
+        routes=routes,
+    )

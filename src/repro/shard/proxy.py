@@ -1,0 +1,193 @@
+"""Boundary-link proxies: a cut link's two halves, one per shard.
+
+A directed link whose transmitting rank and receiving rank live in
+different shards is materialised twice — once per shard — and the two
+halves are kept coherent purely through the *SupplySchedule contract*
+the burst planner already speaks:
+
+* The **transmitting half** (:class:`BoundaryTx`) is the ordinary link
+  the local CKS stages into. Every stage is logged with its exact
+  visibility cycle and shipped to the peer shard at the next exchange;
+  *acks* (the remote consumer's take cycles) are applied with
+  :meth:`~repro.simulation.fifo.Fifo.take_burst`, which reproduces the
+  per-flit slot-release trajectory — reserved slots, producer wakes at
+  ``take + 1``, the planner's ``slot_plan`` release schedule — exactly
+  as if the remote CKR were local.
+
+* The **receiving half** (:class:`BoundaryRx`) is a closed-producer FIFO
+  with no local writer. Shipped stages are injected future-dated
+  (:meth:`~repro.simulation.fifo.Fifo.inject_staged`) — committed supply
+  the local planner consumes like any other ``present_schedule`` — and
+  the link's *horizon* is pinned
+  (:meth:`~repro.simulation.fifo.Fifo.pin_horizon`) to the remote
+  producer's published sleep floor plus the wire latency. The planning
+  cascade naturally stops here: the proxy is just another supply
+  schedule, with no consumer/producer CK wired behind it.
+
+Each half also publishes a *floor* for the unknown future at every
+exchange, computed from the same producer-sleep machinery the planner
+uses (:meth:`Engine.process_floor` /
+:meth:`Fifo.supply_horizon` / :meth:`Fifo.earliest_readable`), clamped
+to the epoch bound: no unshipped stage can be visible before
+:attr:`ShipBatch.horizon`, and no unreported take can happen before
+:attr:`AckBatch.floor`. Those floors are exactly what
+:mod:`repro.shard.timesync` turns into the next epoch's bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ShipBatch:
+    """One exchange's worth of committed supply on a boundary link.
+
+    ``items[i]`` becomes visible at the far end at ``cycles[i]``
+    (absolute, non-decreasing). ``horizon`` bounds everything *not* in
+    the batch: no future stage of the transmitting CKS can be visible
+    before it.
+    """
+
+    key: tuple[int, int]
+    items: tuple
+    cycles: tuple
+    horizon: int
+    #: Producer-side self-sufficiency horizon (see
+    #: :func:`tx_self_sufficiency`): the transmitting shard needs no ack
+    #: information below this cycle.
+    slack: int = 0
+
+
+@dataclass
+class AckBatch:
+    """One exchange's worth of consumer takes on a boundary link.
+
+    ``cycles`` are the absolute take cycles of the oldest
+    still-unacked items (FIFO order, non-decreasing). ``floor`` bounds
+    the unreported future: no further take can happen before it, so the
+    transmitting shard may safely simulate up to ``floor + 1`` without
+    missing a slot-release wake.
+    """
+
+    key: tuple[int, int]
+    cycles: tuple
+    floor: int
+
+
+def tx_self_sufficiency(link, bound: int) -> int:
+    """Earliest cycle an *unknown* remote take could affect the producer.
+
+    Unacked takes only reach the producer through the link's slot state.
+    With ``free`` slots provably free and ``rels`` further releases
+    already known, the producer's next ``budget = free + len(rels)``
+    stages are fully provable. Stages onto a link are line-paced (at
+    least ``pace`` cycles apart, the first no earlier than the line's
+    ``_next_free`` and the epoch bound), and a blocked stage *attempt*
+    follows the previous stage by at least one cycle — so the first
+    event that could depend on an unknown release (the attempt of stage
+    ``budget + 1``) happens no earlier than::
+
+        max(line _next_free, bound) + (budget - 1) * pace + 1
+
+    The producer shard may run to that cycle on slot-budget grounds
+    alone — the deep-buffer analogue of link-latency lookahead for the
+    *reverse* (backpressure) direction.
+
+    The budget is computed without touching the FIFO: every slot not
+    physically occupied by an item is either free now or has a known
+    (reserved) release, so ``capacity - present_count`` *is*
+    ``free + len(releases)`` — calling ``slot_plan(bound)`` here would
+    trim reservations whose release the local clock has not reached,
+    corrupting the occupancy the next epoch's producers observe.
+    """
+    fifo = link.fifo
+    budget = fifo.capacity - fifo.present_count
+    if budget == 0:
+        return bound
+    start = link._next_free
+    if bound > start:
+        start = bound
+    return start + (budget - 1) * link.cycles_per_packet + 1
+
+
+class BoundaryTx:
+    """Producer-side proxy endpoint of one directed cut link."""
+
+    __slots__ = ("key", "link", "fifo")
+
+    def __init__(self, key: tuple[int, int], link) -> None:
+        self.key = key
+        self.link = link
+        self.fifo = link.fifo
+        self.fifo.record_boundary_stages()
+
+    def apply(self, ack: AckBatch) -> None:
+        """Apply the remote consumer's takes to the local link FIFO."""
+        if ack.cycles:
+            self.fifo.apply_remote_takes(list(ack.cycles))
+
+    def collect(self, engine, bound: int, memo: dict) -> ShipBatch:
+        """Drain newly committed stages and publish the supply horizon.
+
+        ``bound`` is the epoch's exclusive end: no local event below it
+        remains, so no unshipped stage can land earlier — the published
+        horizon is at least ``bound + latency``, and deeper whenever the
+        producer-sleep machinery proves the CKS parked beyond the bound
+        (a planner-committed window, a firm sleep).
+        """
+        fifo = self.fifo
+        log = fifo.drain_stage_log()
+        horizon = fifo.supply_horizon(memo)
+        floor = bound + fifo.latency
+        if horizon < floor:
+            horizon = floor
+        if log:
+            items, cycles = zip(*log)
+        else:
+            items = cycles = ()
+        return ShipBatch(self.key, items, cycles, horizon,
+                         tx_self_sufficiency(self.link, bound))
+
+
+class BoundaryRx:
+    """Consumer-side proxy endpoint of one directed cut link."""
+
+    __slots__ = ("key", "link", "fifo", "consumer_proc")
+
+    def __init__(self, key: tuple[int, int], link, consumer_proc) -> None:
+        self.key = key
+        self.link = link
+        self.fifo = link.fifo
+        self.consumer_proc = consumer_proc
+        self.fifo.record_boundary_takes()
+        # Before the first exchange, nothing staged remotely at cycle 0
+        # can be visible before the wire latency.
+        self.fifo.pin_horizon(self.fifo.latency)
+
+    def apply(self, ship: ShipBatch) -> None:
+        """Inject shipped supply and advance the pinned horizon."""
+        if ship.items:
+            self.fifo.inject_staged(list(ship.items), list(ship.cycles))
+        self.fifo.pin_horizon(ship.horizon)
+
+    def collect(self, engine, bound: int, memo: dict) -> AckBatch:
+        """Drain newly executed takes and publish the take floor.
+
+        A future (unreported) take needs the consuming CKR runnable
+        *and* an item visible, so the floor is the max of the epoch
+        bound, the CKR's process floor, and the FIFO's earliest
+        readability — each a lower bound the planner machinery already
+        maintains.
+        """
+        fifo = self.fifo
+        cycles = tuple(fifo.drain_take_log())
+        floor = fifo.earliest_readable(memo)
+        if floor < bound:
+            floor = bound
+        proc = self.consumer_proc
+        if proc is not None:
+            pf = engine.process_floor(proc, memo)
+            if pf > floor:
+                floor = pf
+        return AckBatch(self.key, cycles, floor)

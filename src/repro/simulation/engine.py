@@ -121,6 +121,18 @@ class Engine:
         self._fifos: list = []
         self._live_workers = 0
         self._current_proc: Process | None = None
+        # Cycle of the most recent non-daemon finish: the cycle a
+        # sequential ``run()`` would report if that worker were the last.
+        # The sharded backend's global end cycle is the max of this over
+        # all shard engines.
+        self.last_worker_finish = 0
+        # Sharded backends only: a proven lower bound on the *global* end
+        # cycle, delivered by the epoch coordinator. FIFO occupancy-log
+        # folds never fold entries past it, so end-of-run statistics can
+        # be time-filtered exactly at the global end even on a shard
+        # whose clock ran ahead of it (see Fifo.counts_at). None (the
+        # sequential default) leaves folding unrestricted.
+        self.stats_fold_limit: int | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -339,6 +351,7 @@ class Engine:
             proc.result = stop.value
             if not proc.daemon:
                 self._live_workers -= 1
+                self.last_worker_finish = self.cycle
             self.set_event(proc.done)
             return
         except Exception as exc:
@@ -397,6 +410,99 @@ class Engine:
                     continue
                 self._step(proc)
 
+    def next_pending_cycle(self) -> int | None:
+        """Cycle of the earliest valid pending event, or None when idle.
+
+        Skips stale heap entries (finished processes, invalidated tokens)
+        destructively, so repeated calls stay cheap.
+        """
+        proc_heap = self._proc_heap
+        next_cycle = None
+        while proc_heap:
+            cyc, _seq, proc, token = proc_heap[0]
+            if proc.finished or token != proc._token:
+                heapq.heappop(proc_heap)
+                continue
+            next_cycle = cyc
+            break
+        commit_heap = self._commit_heap
+        if commit_heap and (next_cycle is None
+                            or commit_heap[0][0] < next_cycle):
+            next_cycle = commit_heap[0][0]
+        return next_cycle
+
+    def run_until(self, bound: int) -> tuple[str, int]:
+        """Run every event scheduled strictly before ``bound``.
+
+        The incremental-resume entry point of the sharded backend
+        (:mod:`repro.shard`): one *epoch* of a conservative parallel
+        simulation. Unlike :meth:`run` it
+
+        * keeps serving daemon processes even when no non-daemon worker
+          is live (a shard whose ranks are pure transit must keep
+          forwarding other shards' traffic), and
+        * treats an empty calendar as ``"idle"`` rather than a deadlock —
+          locally nothing can run, but a boundary injection from another
+          shard may schedule new work before the next epoch.
+
+        Returns ``(reason, events)`` where ``reason`` is ``"bound"``
+        (an event at or past ``bound`` remains pending) or ``"idle"``
+        (nothing is scheduled at all), and ``events`` counts the process
+        steps and FIFO commits executed. The clock is left at the last
+        executed event's cycle; it never reaches ``bound``.
+        """
+        proc_heap = self._proc_heap
+        commit_heap = self._commit_heap
+        executed = 0
+        while True:
+            next_cycle = self.next_pending_cycle()
+            if next_cycle is None:
+                return "idle", executed
+            if next_cycle >= bound:
+                return "bound", executed
+            self.cycle = next_cycle
+            while commit_heap and commit_heap[0][0] <= next_cycle:
+                cyc, _seq, fifo = heapq.heappop(commit_heap)
+                self._commit_pending.discard((cyc, id(fifo)))
+                fifo._commit(next_cycle)
+                executed += 1
+            while proc_heap and proc_heap[0][0] == next_cycle:
+                _cyc, _seq, proc, token = heapq.heappop(proc_heap)
+                if proc.finished or token != proc._token:
+                    continue
+                self._step(proc)
+                executed += 1
+
+    @property
+    def live_workers(self) -> int:
+        """Non-daemon processes still running (sharded-backend query)."""
+        return self._live_workers
+
+    def live_worker_floor(self, memo: dict | None = None) -> int:
+        """Max over live workers of their :meth:`process_floor`.
+
+        Every worker's finish cycle is at least its floor, so the global
+        end cycle is at least this value — the sharded coordinator
+        ratchets its stats watermark (``stats_fold_limit``) on it.
+        """
+        if memo is None:
+            memo = {}
+        floor = 0
+        for proc in self._processes:
+            if not proc.daemon and not proc.finished:
+                f = self.process_floor(proc, memo)
+                if f > floor:
+                    floor = f
+        return floor
+
+    def blocked_process_dump(self) -> list[str]:
+        """One diagnostic line per blocked process (deadlock reports)."""
+        return [
+            f"  - {p.name}: waiting on {p._waiting_on!r}"
+            for p in self._processes
+            if not p.finished and p._waiting_on is not None
+        ]
+
     def _result(self, reason: str) -> RunResult:
         done = sum(1 for p in self._processes if p.finished)
         return RunResult(
@@ -407,11 +513,7 @@ class Engine:
         )
 
     def _deadlock(self) -> DeadlockError:
-        blocked = [
-            f"  - {p.name}: waiting on {p._waiting_on!r}"
-            for p in self._processes
-            if not p.finished and p._waiting_on is not None
-        ]
+        blocked = self.blocked_process_dump()
         detail = "\n".join(blocked) if blocked else "  (no blocked processes?)"
         return DeadlockError(
             f"simulation deadlocked at cycle {self.cycle}: "

@@ -95,6 +95,7 @@ burst window.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from itertools import chain, islice
 from operator import gt
@@ -143,12 +144,17 @@ class Fifo:
         "_occ_takes",
         "_occ_base",
         "_occ_peak",
+        "_occ_folded_stages",
+        "_occ_folded_takes",
         "first_push_cycle",
         "last_pop_cycle",
         "burst_stats",
         "_flow_dead",
         "producers",
         "_stage_guard",
+        "horizon_pin",
+        "_stage_log",
+        "_take_log",
     )
 
     def __init__(self, engine, name: str, capacity: int, latency: int = 1) -> None:
@@ -185,6 +191,11 @@ class Fifo:
         self._occ_takes: list[int] = []
         self._occ_base = 0
         self._occ_peak = 0
+        # Events already folded out of the logs (exact per-item counts;
+        # every folded entry's cycle is below the fold threshold, which
+        # the engine's ``stats_fold_limit`` watermark may clamp).
+        self._occ_folded_stages = 0
+        self._occ_folded_takes = 0
         self.first_push_cycle: int | None = None
         self.last_pop_cycle: int | None = None
         self.burst_stats = BurstStats()
@@ -202,6 +213,15 @@ class Fifo:
         # One combined flag so the per-stage hot path pays a single branch
         # for both tripwires (kept in sync by the property/registration).
         self._stage_guard = False
+        # Sharded-backend proxy contract (see repro.shard.proxy): a pinned
+        # horizon stands in for a *remote* producer's sleep floor on the
+        # consumer side of a boundary link, and the boundary logs capture
+        # the exact per-item stage/take cycles that must be shipped to the
+        # peer shard. All three stay None outside sharded builds, so the
+        # hot paths pay one is-None branch each.
+        self.horizon_pin: int | None = None
+        self._stage_log: list | None = None
+        self._take_log: list | None = None
         engine._register_fifo(self)
 
     @property
@@ -232,12 +252,24 @@ class Fifo:
         return bool(staged) and staged[0][0] <= self.engine.cycle
 
     def _trim_reserved(self, now: int) -> None:
-        """Drop reserved entries whose release cycle has arrived, keeping
-        the paired-prefix count aligned (paired entries are the oldest)."""
+        """Drop reserved entries whose release cycle has passed, keeping
+        the paired-prefix count aligned (paired entries are the oldest).
+
+        The boundary is strict: a slot whose pre-committed release cycle
+        *is* ``now`` stays reserved until the next cycle. The per-flit
+        contract everywhere — the engine's delay-1 producer wake, the
+        planner's ``release + 1`` stage pacing — is that a slot freed by
+        a take at cycle ``c`` becomes usable at ``c + 1``; an observer
+        whose event happens to land exactly on ``c`` (a window ending
+        there, an epoch boundary) must not see the slot a cycle early.
+        (A take executed *in* the current cycle frees its slot
+        immediately via ``take_burst``'s same-cycle path instead — that
+        models the consumer itself running this cycle, not a
+        pre-committed future release.)"""
         reserved = self._reserved
-        if reserved and reserved[0] <= now:
+        if reserved and reserved[0] < now:
             paired = self._reserved_paired
-            while reserved and reserved[0] <= now:
+            while reserved and reserved[0] < now:
                 reserved.popleft()
                 if paired:
                     paired -= 1
@@ -363,6 +395,8 @@ class Fifo:
         now = self.engine.cycle
         ready = now + self.latency
         self._staged.append((ready, item))
+        if self._stage_log is not None:
+            self._stage_log.append((item, ready))
         if self.can_pop.waiters:
             self.engine._schedule_commit(self._staged[0][0], self)
         self.pushes += 1
@@ -382,6 +416,8 @@ class Fifo:
         self.pops += 1
         now = self.engine.cycle
         self.last_pop_cycle = now
+        if self._take_log is not None:
+            self._take_log.append(now)
         self._occ_takes.append(now)
         if len(self._occ_takes) > _OCC_FOLD_LIMIT:
             self._occ_fold()
@@ -503,7 +539,9 @@ class Fifo:
                 prev = cyc
                 staged.append((cyc + latency, item))
                 base += 1
-                while res_idx < n_res and reserved[res_idx] <= cyc:
+                # Strict: a pre-committed release frees its slot for
+                # stages from release + 1 on (the per-flit wake cycle).
+                while res_idx < n_res and reserved[res_idx] < cyc:
                     res_idx += 1
                 # Pending *paired* reservations back items already counted
                 # in ``base`` (committed future stages), so they net out.
@@ -515,6 +553,9 @@ class Fifo:
                         f"fifo {self.name!r}: stage_burst overcommits at "
                         f"cycle {cyc} ({occ} slots in a {capacity}-deep FIFO)"
                     )
+        if self._stage_log is not None:
+            self._stage_log.extend(
+                zip(items, (cyc + latency for cyc in cycles)))
         occ_stages = self._occ_stages
         if occ_stages and cycles[0] < occ_stages[-1]:
             raise SimulationError(
@@ -599,22 +640,26 @@ class Fifo:
                             f"at {ready}"
                         )
                     i += 1
-        # Slot bookkeeping: takes at the current cycle free their slot
-        # immediately (producers wake next cycle, like a plain take());
-        # future takes hold the slot *reserved* until their cycle.
-        i0 = 0
-        if cycles[0] == now:
-            if self.can_push.waiters:
+        # Slot bookkeeping: every take — current-cycle ones included —
+        # holds its slot *reserved* until the cycle after its take cycle
+        # (the strict ``_trim_reserved`` boundary). Producers therefore
+        # observe a freed slot at ``take + 1`` — the cycle a blocked
+        # per-flit producer would wake — regardless of how this commit's
+        # engine event happens to be ordered against a producer event in
+        # the same cycle. (A per-flit ``take()`` keeps its immediate-free
+        # semantics: it *is* the reference, and per-flit producers racing
+        # it are always parked, never polling mid-cycle.)
+        if self.can_push.waiters:
+            if cycles[0] == now:
                 self.engine._wake_all(self.can_push, delay=1)
-            while i0 < k and cycles[i0] == now:
-                i0 += 1
-        if i0 < k:
-            self._reserved.extend(islice(cycles, i0, None))
-            if self.can_push.waiters:
+            else:
                 # A blocked producer needs its wake at the first release.
-                self.engine._schedule_commit(cycles[i0], self)
+                self.engine._schedule_commit(cycles[0], self)
+        self._reserved.extend(cycles)
         self.pops += k
         self.last_pop_cycle = cycles[-1]
+        if self._take_log is not None:
+            self._take_log.extend(cycles)
         occ_takes = self._occ_takes
         if occ_takes and cycles[0] < occ_takes[-1]:
             raise SimulationError(
@@ -672,8 +717,17 @@ class Fifo:
         limit with *future-dated* entries only (whole trains commit in
         one engine event); nothing is foldable then, so bail before the
         sweep instead of re-walking the log on every subsequent burst.
+
+        Under a sharded backend the engine carries a ``stats_fold_limit``
+        watermark (a proven lower bound on the global end cycle): folds
+        never cross it, so even on a shard whose clock runs ahead of the
+        eventual global end, every folded entry provably lies at or
+        before that end and :meth:`counts_at` stays exact.
         """
         now = self.engine.cycle
+        limit = self.engine.stats_fold_limit
+        if limit is not None and limit + 1 < now:
+            now = limit + 1
         stages = self._occ_stages
         takes = self._occ_takes
         if (not stages or stages[0] >= now) and (not takes or
@@ -683,8 +737,10 @@ class Fifo:
         self._occ_base = occ
         self._occ_peak = peak
         if i:
+            self._occ_folded_stages += i
             del self._occ_stages[:i]
         if j:
+            self._occ_folded_takes += j
             del self._occ_takes[:j]
 
     @property
@@ -731,9 +787,21 @@ class Fifo:
         :meth:`Engine.process_floor`, plus this FIFO's latency); unknown
         writers degrade to ``now + latency`` (a stage this cycle turns
         visible no earlier than that).
+
+        A *pinned* horizon (the sharded backend's proxy contract) takes
+        precedence over producer floors: the pin is the remote shard's
+        published visibility bound for this boundary FIFO, valid for the
+        whole epoch regardless of the local clock — returning it even
+        when it is below ``now + latency`` is merely conservative, while
+        a clock-relative bound could over-claim silence past the epoch.
+        A flow-dead boundary FIFO still reports FOREVER (injections into
+        one trip the same guard as stages, so the claim stays honest).
         """
         if self._flow_dead:
             return FOREVER
+        pin = self.horizon_pin
+        if pin is not None:
+            return pin
         producers = self.producers
         now = self.engine.cycle
         if producers is None:
@@ -768,6 +836,208 @@ class Fifo:
             ready = staged[0][0]
             return ready if ready > now else now
         return self.supply_horizon(memo, depth)
+
+    # ------------------------------------------------------------------
+    # Sharded-backend proxy contract (see repro.shard.proxy)
+    # ------------------------------------------------------------------
+    def pin_horizon(self, cycle: int) -> None:
+        """Pin (or raise) the supply horizon to ``cycle``.
+
+        Consumer side of a boundary link: the remote shard published
+        that no stage beyond the already-shipped ones can be visible
+        before ``cycle``. Pins are monotone — an older pin bounded a
+        superset of the still-unknown arrivals, so keeping the max of
+        the two is always sound.
+        """
+        pin = self.horizon_pin
+        if pin is None or cycle > pin:
+            self.horizon_pin = cycle
+
+    def record_boundary_stages(self) -> None:
+        """Start logging ``(item, visible_cycle)`` for every stage."""
+        if self._stage_log is None:
+            self._stage_log = []
+
+    def record_boundary_takes(self) -> None:
+        """Start logging the exact cycle of every take."""
+        if self._take_log is None:
+            self._take_log = []
+
+    def drain_stage_log(self) -> list:
+        """Return and reset the boundary stage log (exchange helper)."""
+        log = self._stage_log
+        self._stage_log = []
+        return log
+
+    def drain_take_log(self) -> list:
+        """Return and reset the boundary take log (exchange helper)."""
+        log = self._take_log
+        self._take_log = []
+        return log
+
+    def inject_staged(self, items: Sequence[Any],
+                      visible_cycles: Sequence[int]) -> None:
+        """Materialise a remote producer's committed stages locally.
+
+        The consumer-side half of a boundary link's supply schedule:
+        ``items[i]`` becomes visible at ``visible_cycles[i]`` exactly as
+        if the (remote) producer had staged it ``latency`` cycles
+        earlier. Unlike :meth:`stage_burst` this bypasses the capacity
+        walk — the remote producer already enforced capacity against the
+        acked take schedule, and the local container may transiently
+        hold more than ``capacity`` items because the takes that
+        interleave in *cycle* time have not been simulated yet (the
+        time-indexed occupancy log stays exact regardless).
+
+        Soundness relies on the epoch protocol: every visibility cycle
+        is at or past the horizon previously pinned on this FIFO, which
+        in turn is past the local clock — injections never rewrite the
+        simulated past.
+        """
+        k = len(items)
+        if k == 0:
+            return
+        if self._flow_dead:
+            self._reject_flow_dead()
+        now = self.engine.cycle
+        vis0 = visible_cycles[0]
+        if vis0 <= now:
+            raise SimulationError(
+                f"fifo {self.name!r}: boundary injection visible at "
+                f"{vis0} but the local clock already passed it ({now})"
+            )
+        pin = self.horizon_pin
+        if pin is not None and vis0 < pin:
+            raise SimulationError(
+                f"fifo {self.name!r}: boundary injection visible at "
+                f"{vis0} violates the pinned horizon {pin}"
+            )
+        if k > 1 and any(map(gt, visible_cycles,
+                             islice(visible_cycles, 1, None))):
+            raise SimulationError(
+                f"fifo {self.name!r}: injected cycles not monotone"
+            )
+        staged = self._staged
+        if staged and vis0 < staged[-1][0]:
+            raise SimulationError(
+                f"fifo {self.name!r}: boundary injection at {vis0} behind "
+                f"already-staged item at {staged[-1][0]}"
+            )
+        staged.extend(zip(visible_cycles, items))
+        latency = self.latency
+        stage_cycles = [v - latency for v in visible_cycles]
+        occ_stages = self._occ_stages
+        if occ_stages and stage_cycles[0] < occ_stages[-1]:
+            raise SimulationError(
+                f"fifo {self.name!r}: injected stage cycles regress behind "
+                f"the occupancy log"
+            )
+        occ_stages.extend(stage_cycles)
+        if len(occ_stages) > _OCC_FOLD_LIMIT:
+            self._occ_fold()
+        self.pushes += k
+        if self.first_push_cycle is None:
+            self.first_push_cycle = stage_cycles[0]
+        if self.can_pop.waiters:
+            self.engine._schedule_commit(self._staged[0][0], self)
+        # No burst_stats: an injection batch reflects epoch pacing, not
+        # the data plane's batching (and the transmitting half of this
+        # boundary FIFO — the stats-authoritative one — already records
+        # the producer's real bursts).
+
+    def apply_remote_takes(self, cycles: Sequence[int]) -> None:
+        """Apply a boundary consumer's take schedule (acks) locally.
+
+        Like :meth:`take_burst` with ``collect=False``, but tolerant of
+        take cycles in the *simulated past*: the epoch synchroniser's
+        slot-budget bound (``tx_self_sufficiency``) lets the producing
+        shard run ahead of unreported takes precisely when it can prove
+        no local event could observe the freed slots — so a past-dated
+        take just removes its item and frees the slot with no wake (the
+        wake cycle, ``take + 1``, provably had no waiter). A producer
+        blocked on this FIFO while past-dated acks arrive would falsify
+        that proof, and trips loudly.
+        """
+        if not cycles:
+            return
+        now = self.engine.cycle
+        split = bisect_right(cycles, now - 1)
+        past = cycles[:split]
+        if past:
+            # Waiter entries can be stale (a preempted process bumps its
+            # token but leaves the entry); only a *live* waiter falsifies
+            # the self-sufficiency proof.
+            for proc, token in self.can_push.waiters:
+                if not proc.finished and token == proc._token:
+                    raise SimulationError(
+                        f"fifo {self.name!r}: past-dated boundary takes "
+                        f"(first {past[0]}, now {now}) with blocked "
+                        f"producer {proc.name!r} — the self-sufficiency "
+                        "bound was unsound"
+                    )
+            k = len(past)
+            visible = self._visible
+            staged = self._staged
+            nv = min(k, len(visible))
+            for _ in range(nv):
+                visible.popleft()
+            for i in range(nv, k):
+                if not staged:
+                    raise SimulationError(
+                        f"fifo {self.name!r}: boundary takes ran out of "
+                        "items"
+                    )
+                ready = staged.popleft()[0]
+                if ready > past[i]:
+                    raise SimulationError(
+                        f"fifo {self.name!r}: boundary take at {past[i]} "
+                        f"but the item is only visible at {ready}"
+                    )
+            self.pops += k
+            self.last_pop_cycle = past[-1]
+            occ_takes = self._occ_takes
+            if occ_takes and past[0] < occ_takes[-1]:
+                raise SimulationError(
+                    f"fifo {self.name!r}: boundary takes regress behind "
+                    "the occupancy log"
+                )
+            occ_takes.extend(past)
+            if len(occ_takes) > _OCC_FOLD_LIMIT:
+                self._occ_fold()
+            # No burst_stats: ack batches reflect epoch pacing, not the
+            # consumer's real burst structure.
+        rest = cycles[split:]
+        if rest:
+            self.take_burst(rest, collect=False)
+
+    def max_occupancy_at(self, cycle: int) -> int:
+        """Exact peak occupancy with an explicit sweep end (inclusive).
+
+        The sharded backend's stats merge: each shard's clock stops at
+        its own last event, so the per-shard peaks must all be swept to
+        the *global* end cycle to match a sequential run's
+        :attr:`max_occupancy` (which sweeps to the single engine's
+        clock).
+        """
+        return self._occ_sweep(cycle + 1)[1]
+
+    def counts_at(self, cycle: int) -> tuple[int, int]:
+        """Exact ``(pushes, pops)`` counting only events at or before
+        ``cycle``.
+
+        The raw :attr:`pushes`/:attr:`pops` counters tally every event
+        ever executed or committed; a shard that ran ahead of the global
+        end cycle may have executed trailing events (in-flight credit
+        packets, post-completion forwards) a sequential run never
+        reached. Filtering by the per-item cycle logs at the global end
+        restores exact equality — sound because folds never cross the
+        engine's ``stats_fold_limit`` watermark, which is always at or
+        below the global end.
+        """
+        return (
+            self._occ_folded_stages + bisect_right(self._occ_stages, cycle),
+            self._occ_folded_takes + bisect_right(self._occ_takes, cycle),
+        )
 
     # ------------------------------------------------------------------
     # Handshake helpers: one item per cycle, blocking on full/empty.
@@ -864,12 +1134,17 @@ class Fifo:
             elif self._staged:
                 self.engine._schedule_commit(self._staged[0][0], self)
         if self.can_push.waiters:
-            if self.writable:
-                # Same wake timing as a take() in this cycle: producers run
-                # next cycle (registered full flag).
+            reserved = self._reserved
+            if self.writable or (reserved and
+                                 reserved[0] <= self.engine.cycle):
+                # Same wake timing as a take() in this cycle: producers
+                # run next cycle (registered full flag). A reserved slot
+                # releasing *this* cycle wakes them for the next one too
+                # — the strict trim keeps it counted until then, so the
+                # woken producer is the first observer to see it free.
                 self.engine._wake_all(self.can_push, delay=1)
-            elif self._reserved:
-                self.engine._schedule_commit(self._reserved[0], self)
+            elif reserved:
+                self.engine._schedule_commit(reserved[0], self)
 
     def _next_commit_cycle(self) -> int | None:
         """Cycle of the earliest pending staged item, if any (test helper)."""

@@ -277,7 +277,15 @@ class PlannerStats:
 
 
 def collect_planner_stats(transport) -> PlannerStats:
-    """Aggregate planner counters over every CK of a built transport."""
+    """Aggregate planner counters over every CK of a built transport.
+
+    A sharded run's transport facade carries a pre-merged snapshot
+    instead of live CK objects (the process backend's CKs live in worker
+    processes); honour it when present.
+    """
+    snapshot = getattr(transport, "planner_stats_snapshot", None)
+    if snapshot is not None:
+        return snapshot
     total = PlannerStats()
     for rt in transport.ranks.values():
         for ck in list(rt.cks.values()) + list(rt.ckr.values()):

@@ -70,12 +70,20 @@ class RankTransport:
 
 @dataclass
 class Transport:
-    """The whole cluster's transport: per-rank handles plus shared fabric."""
+    """The whole cluster's transport: per-rank handles plus shared fabric.
+
+    A *sharded* build (``build_transport(..., shard_ranks=...)``) carries
+    only the shard's own ranks and the links touching them; every
+    directed link with exactly one endpoint inside the shard is listed in
+    ``boundaries`` as ``(link, src_is_local)``, ready for the sharded
+    backend to attach its :mod:`repro.shard.proxy` endpoints.
+    """
 
     config: HardwareConfig
     routes: Routes
     fabric: Fabric
     ranks: dict[int, RankTransport]
+    boundaries: list = field(default_factory=list)
 
     def rank(self, rank: int) -> RankTransport:
         return self.ranks[rank]
@@ -168,6 +176,100 @@ def _walk_flow(
     )
 
 
+def _mark_flow_liveness_sharded(
+    plan: ProgramPlan,
+    routes: Routes,
+    ranks: dict[int, RankTransport],
+    fabric: Fabric,
+    transit: list[Fifo],
+) -> None:
+    """Static flow-liveness for one shard of a partitioned fabric.
+
+    The sequential analysis (:func:`_mark_flow_liveness`) walks flows
+    through the *live* CK modules, which a shard does not have for
+    remote ranks. The CK routing functions are pure table lookups,
+    though, so this variant walks the same flows through the routing
+    tables directly — crossing remote ranks abstractly and marking only
+    the FIFOs that exist in this shard (internal transit FIFOs of local
+    ranks, plus every boundary link the flow traverses). The result is
+    the same set of locally-visible live FIFOs the sequential walk would
+    produce; anything else is provably flow-dead, which is what keeps
+    the per-shard burst planner's silence proofs (and therefore its
+    windows) as strong as the sequential planner's.
+    """
+    if any(p.collective_ops() for p in plan.rank_plans.values()):
+        return
+    topology = routes.topology
+    num_ranks = plan.num_ranks
+    # Every rank's port->iface assignment, derivable from the metadata
+    # alone by the builder's deterministic round-robin rule.
+    iface_of_port: dict[int, dict[int, int]] = {}
+    for rank in range(num_ranks):
+        rank_plan = plan.rank_plans.get(rank)
+        active = topology.interfaces_of(rank) or [0]
+        ports = rank_plan.ports if rank_plan is not None else []
+        iface_of_port[rank] = {
+            port: active[idx % len(active)] for idx, port in enumerate(ports)
+        }
+    visited: set[int] = set()
+
+    def mark(fifo) -> None:
+        if fifo is not None:
+            visited.add(id(fifo))
+
+    guard = 4 * num_ranks * max(1, topology.num_interfaces) + 4
+    for rank, rank_plan in plan.rank_plans.items():
+        for port, decl in rank_plan.send_ports().items():
+            if port not in iface_of_port[rank]:
+                continue
+            dsts = [decl.peer] if decl.peer is not None else range(num_ranks)
+            for dst in dsts:
+                kind, r, i = "cks", rank, iface_of_port[rank][port]
+                for _ in range(guard):
+                    rt = ranks.get(r)
+                    if kind == "cks":
+                        if dst == r:
+                            if rt is not None:
+                                mark(rt.cks[i].to_paired_ckr)
+                            kind = "ckr"
+                            continue
+                        egress = routes.next_iface[r].get(dst)
+                        if egress is None:
+                            break  # unreachable: no packet takes this path
+                        if egress == i:
+                            link = fabric.tx_link.get((r, i))
+                            if link is not None:
+                                mark(link.fifo)
+                            peer = topology.peer(r, i)
+                            if peer is None:
+                                break  # unwired egress: unroutable
+                            kind, (r, i) = "ckr", peer
+                        else:
+                            if rt is not None:
+                                mark(rt.cks[i].to_other_cks.get(egress))
+                            i = egress
+                    else:  # ckr
+                        if dst != r:
+                            if rt is not None:
+                                mark(rt.ckr[i].to_paired_cks)
+                            kind = "cks"
+                            continue
+                        home = iface_of_port[r].get(port)
+                        if home is None or home == i:
+                            break  # delivered (or no endpoint declared)
+                        if rt is not None:
+                            mark(rt.ckr[i].to_other_ckr.get(home))
+                        i = home
+                else:
+                    raise CodegenError(
+                        f"sharded flow-liveness walk {rank}->{dst} port "
+                        f"{port} did not terminate — transport wiring loop?"
+                    )
+    for f in transit:
+        if id(f) not in visited:
+            f.flow_dead = True
+
+
 def _find_consumer(
     ranks: dict[int, RankTransport], fifo: Fifo
 ) -> tuple[str, int, int] | None:
@@ -194,8 +296,21 @@ def build_transport(
     routes: Routes,
     config: HardwareConfig,
     validate_wire: bool = False,
+    shard_ranks: frozenset[int] | set[int] | None = None,
 ) -> Transport:
-    """Instantiate and spawn the full transport for ``plan``."""
+    """Instantiate and spawn the full transport for ``plan``.
+
+    With ``shard_ranks`` the build is one shard's *plane* of a
+    partitioned fabric: only those ranks' CK pairs, endpoints and
+    support kernels are instantiated, the fabric keeps only links
+    touching the shard, and cut links are reported in
+    ``Transport.boundaries``. Static flow-liveness is skipped (its walk
+    needs every rank's routing modules); the planner stays cycle-exact
+    without it, merely conservative. The supply planner is wired
+    per-shard, so planning cascades stop at the cut — the boundary
+    proxies' committed supply schedules and pinned horizons are all a
+    shard ever learns about its neighbours.
+    """
     plan.validate()
     # Peer declarations must name ranks that exist, regardless of whether
     # the flow-liveness analysis (which consumes them) will run.
@@ -213,11 +328,14 @@ def build_transport(
             f"program uses {plan.num_ranks} ranks but topology "
             f"{topology.name!r} has only {topology.num_ranks}"
         )
-    fabric = Fabric(engine, topology, config, validate_wire=validate_wire)
+    fabric = Fabric(engine, topology, config, validate_wire=validate_wire,
+                    local_ranks=shard_ranks)
     ranks: dict[int, RankTransport] = {}
     transit: list[Fifo] = [link.fifo for link in fabric.links()]
 
     for rank in range(plan.num_ranks):
+        if shard_ranks is not None and rank not in shard_ranks:
+            continue
         rank_plan = plan.rank_plans.get(rank, RankPlan(rank))
         active = topology.interfaces_of(rank) or [0]
         ports = rank_plan.ports
@@ -346,11 +464,17 @@ def build_transport(
     if config.burst_mode:
         # Only the burst planner consumes liveness and supply contracts;
         # the per-flit reference interpretation stays free of the analysis
-        # (and its tripwires).
-        _mark_flow_liveness(plan, ranks, transit)
+        # (and its tripwires). A sharded build lacks remote ranks' CK
+        # modules, so it runs the table-driven variant of the walk.
+        if shard_ranks is None:
+            _mark_flow_liveness(plan, ranks, transit)
+        else:
+            _mark_flow_liveness_sharded(plan, routes, ranks, fabric,
+                                        transit)
         _wire_supply_planner(ranks, config)
 
-    return Transport(config=config, routes=routes, fabric=fabric, ranks=ranks)
+    return Transport(config=config, routes=routes, fabric=fabric,
+                     ranks=ranks, boundaries=fabric.boundary_links())
 
 
 def _wire_supply_planner(ranks: dict[int, RankTransport],
@@ -401,8 +525,13 @@ def _wire_supply_planner(ranks: dict[int, RankTransport],
             if link is not None:
                 link.register_producer(cks.proc)
                 dst_rank, dst_iface = link.dst
-                sp.wire(link.fifo, producer=cks,
-                        consumer=ranks[dst_rank].ckr[dst_iface])
+                # In a sharded build the far end may live in another
+                # shard: the cascade then stops at the link — its fifo is
+                # just another committed supply schedule to the peer.
+                dst_rt = ranks.get(dst_rank)
+                if dst_rt is not None:
+                    sp.wire(link.fifo, producer=cks,
+                            consumer=dst_rt.ckr[dst_iface])
         for i, ckr in rt.ckr.items():
             ckr.to_paired_cks.register_producer(ckr.proc)
             sp.wire(ckr.to_paired_cks, producer=ckr, consumer=rt.cks[i])

@@ -631,10 +631,25 @@ class WindowPattern:
                  "inputs_used", "takes_per_input", "target_fifos", "sigs",
                  "cruise")
 
+    #: Sentinel value of :attr:`cruise` meaning "induction tables not yet
+    #: compiled". :attr:`cruise` is a lazy three-state cache:
+    #:
+    #: * :data:`CRUISE_TODO` — no cruise attempt has touched this pattern
+    #:   yet; the first :func:`_cruise_tables` call compiles it (patterns
+    #:   are compiled eagerly on confirmation, but cruise eligibility is
+    #:   only decided when the induction first arms);
+    #: * ``None`` — compilation ran and proved the pattern *ineligible*:
+    #:   its stall model embeds a release-floor raise, whose value is
+    #:   per-release information the arithmetic replay cannot re-derive,
+    #:   so every round of this pattern stays on validated replication;
+    #: * a :class:`_CruiseTables` instance — the compiled induction
+    #:   tables, cached for the pattern's lifetime.
+    CRUISE_TODO: object = object()
+
     def __init__(self, delta, idx0, reads0, ops_rel, obs_rel,
                  sigs=()) -> None:
         self.sigs = sigs  # the window signatures one round cycles through
-        self.cruise = _CRUISE_TODO  # lazy _CruiseTables (None: ineligible)
+        self.cruise = self.CRUISE_TODO  # see the CRUISE_TODO state table
         self.delta = delta    # round length in cycles
         self.idx0 = idx0      # arbiter pointer at every round boundary
         self.reads0 = reads0  # open R-round reads at every round boundary
@@ -684,10 +699,6 @@ class WindowPattern:
             if fifo not in tfifos:
                 tfifos.append(fifo)
         self.target_fifos = tuple(tfifos)
-
-
-#: ``WindowPattern.cruise`` sentinel: induction tables not yet compiled.
-_CRUISE_TODO = object()
 
 
 class _CruiseTables:
@@ -772,7 +783,7 @@ def _compile_cruise(pattern):
 def _cruise_tables(pattern):
     """Cached cruise tables of ``pattern`` (compiled on first request)."""
     ct = pattern.cruise
-    if ct is _CRUISE_TODO:
+    if ct is WindowPattern.CRUISE_TODO:
         ct = pattern.cruise = _compile_cruise(pattern)
     return ct
 

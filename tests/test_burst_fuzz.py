@@ -1,15 +1,20 @@
 """Randomized cycle-equivalence fuzzing across the burst planes.
 
 Each seeded case draws a topology span (1-6 hops on the Noctua bus), FIFO
-depths (shallow through deep-buffer regimes), a polling parameter, and a
+depths (shallow through deep-buffer regimes), a polling parameter, a
 workload (p2p / credited p2p / bcast / reduce / scatter / mixed
-stencil+collective), then runs it under four data planes:
+stencil+collective), and a random fabric cut, then runs it under five
+data planes:
 
 * ``flit`` — the per-flit reference interpretation (``burst_mode=False``);
 * ``burst`` — window planning only (``pattern_replication=False``);
 * ``replicated`` — pattern replication, no induction
   (``cruise_induction=False``);
-* ``cruise`` — the full plane (replication + cruise-mode induction).
+* ``cruise`` — the full plane (replication + cruise-mode induction);
+* ``sharded`` — the full plane on the sharded backend
+  (:mod:`repro.shard`), partitioned by the case's randomly drawn cut (a
+  random contiguous split into 2-4 shards, occasionally scrambled by
+  per-rank overrides), synchronised in conservative epochs.
 
 Every plane must produce identical simulated cycles per rank and
 identical per-FIFO push/pop counts and exact occupancy peaks — the same
@@ -28,13 +33,35 @@ from repro import NOCTUA, SMI_FLOAT, SMI_INT, SMIProgram, noctua_bus
 from repro.codegen.metadata import OpDecl
 from repro.core.ops import SMI_ADD
 
-#: The four data planes whose cycle trajectories must coincide.
+#: The five data planes whose cycle trajectories must coincide. The
+#: ``sharded`` plane additionally sets ``backend``/``shards`` from the
+#: case's drawn cut inside ``_assert_planes_agree``.
 PLANES = {
     "flit": dict(burst_mode=False),
     "burst": dict(pattern_replication=False),
     "replicated": dict(cruise_induction=False),
     "cruise": dict(),
+    "sharded": dict(),
 }
+
+
+def _gen_cut(rng: random.Random, num_ranks: int = 8) -> list[list[int]]:
+    """A random contiguous split of the bus ranks into 2-4 shards.
+
+    One case in four scrambles a rank across the cut (moves it to
+    another shard), exercising non-contiguous partitions where a single
+    flow crosses the boundary several times.
+    """
+    k = rng.randint(2, 4)
+    splits = sorted(rng.sample(range(1, num_ranks), k - 1))
+    edges = [0] + splits + [num_ranks]
+    shards = [list(range(edges[i], edges[i + 1])) for i in range(k)]
+    if rng.random() < 0.25:
+        src = rng.randrange(k)
+        dst = rng.randrange(k)
+        if src != dst and len(shards[src]) > 1:
+            shards[dst].append(shards[src].pop())
+    return shards
 
 
 def _fifo_counts(engine):
@@ -54,6 +81,7 @@ def _gen_case(rng: random.Random) -> dict:
         "inter_ck_fifo_depth": rng.choice([2, 4, 8, 32]),
         "endpoint_fifo_depth": rng.choice([2, 8, 32]),
         "read_burst": rng.choice([1, 4, 8]),
+        "cut": _gen_cut(rng),
     }
     if case["kind"] == "p2p":
         case["hops"] = rng.randint(1, 6)
@@ -79,10 +107,10 @@ def _gen_case(rng: random.Random) -> dict:
     return case
 
 
-def _run_case(case: dict, config) -> tuple[dict, dict]:
+def _run_case(case: dict, config, partition=None) -> tuple[dict, dict]:
     """Run one case; returns (per-rank end cycles + outputs, fifo stats)."""
     kind = case["kind"]
-    prog = SMIProgram(noctua_bus(), config=config)
+    prog = SMIProgram(noctua_bus(), config=config, partition=partition)
     if kind == "p2p":
         hops, n, width = case["hops"], case["n"], case["width"]
         data = np.arange(n, dtype=np.float32)
@@ -242,7 +270,12 @@ def _assert_planes_agree(case: dict) -> None:
     )
     ref = None
     for plane, overrides in PLANES.items():
-        marks, counts = _run_case(case, base.with_(**overrides))
+        partition = None
+        if plane == "sharded":
+            partition = case["cut"]
+            overrides = dict(overrides, backend="sharded",
+                             shards=len(partition))
+        marks, counts = _run_case(case, base.with_(**overrides), partition)
         if ref is None:
             ref = (plane, marks, counts)
         else:

@@ -214,3 +214,104 @@ def test_property_auto_scheme_is_always_deadlock_free(top):
     assert routes.deadlock_free
     assert is_deadlock_free(routes)
     assert all_pairs_reachable(routes)
+
+
+# ----------------------------------------------------------------------
+# Partitioned sub-topologies (sharded backend satellite coverage)
+# ----------------------------------------------------------------------
+def test_link_path_crossing_a_shard_cut():
+    """Every directed link a route traverses across a cut is a boundary
+    link of exactly one shard pair, in path order."""
+    from repro.shard import partition_topology
+
+    topo = noctua_bus()
+    routes = compute_routes(topo, scheme="shortest")
+    part = partition_topology(topo, 2)
+    shard_of = part.shard_of()
+    links = routes.link_path(0, 7)
+    assert len(links) == 7  # bus: one link per hop
+    crossings = []
+    for rank, iface in links:
+        peer = topo.peer(rank, iface)
+        assert peer is not None
+        if shard_of[rank] != shard_of[peer[0]]:
+            crossings.append(((rank, iface), peer))
+    # A contiguous bus bisection is crossed exactly once, on a cut edge.
+    assert len(crossings) == 1
+    cut_pairs = {frozenset((c.a[0], c.b[0])) for c in part.cut}
+    (src, dst) = crossings[0]
+    assert frozenset((src[0], dst[0])) in cut_pairs
+
+
+def test_link_path_multi_crossing_interleaved_cut():
+    """An interleaved (worst-case) cut is crossed on every hop."""
+    from repro.shard import partition_topology
+
+    topo = noctua_bus()
+    routes = compute_routes(topo, scheme="shortest")
+    part = partition_topology(topo, 2,
+                              rank_lists=[[0, 2, 4, 6], [1, 3, 5, 7]])
+    shard_of = part.shard_of()
+    links = routes.link_path(0, 7)
+    crossings = sum(
+        1 for rank, iface in links
+        if shard_of[rank] != shard_of[topo.peer(rank, iface)[0]]
+    )
+    assert crossings == 7  # every hop of the bus crosses the cut
+    assert len(part.cut) == len(topo.connections)
+
+
+def test_deadlock_freedom_on_torus_and_irregular_cut_graphs():
+    """The CDG check stays meaningful on the sub-topology shapes the
+    partitioner produces: full tori, and irregular remainders."""
+    torus_routes = compute_routes(noctua_torus(), scheme="tree")
+    assert is_deadlock_free(torus_routes)
+    # The 2x4 torus has wrap links; shortest routing may or may not be
+    # acyclic, but auto must always come back deadlock-free.
+    auto = compute_routes(noctua_torus(), scheme="auto")
+    assert auto.deadlock_free and is_deadlock_free(auto)
+    # Irregular "cut remainder" graph: a torus row plus a dangling spur
+    # (what a 3-way cut of a 2x4 torus leaves behind).
+    irregular = Topology(
+        5,
+        [
+            Connection((0, 1), (1, 3)),
+            Connection((1, 1), (2, 3)),
+            Connection((2, 1), (0, 3)),  # 3-cycle
+            Connection((2, 0), (3, 2)),  # spur
+            Connection((3, 0), (4, 2)),
+        ],
+        name="cut-remainder",
+    )
+    shortest = compute_routes(irregular, scheme="shortest")
+    cdg = channel_dependency_graph(shortest)
+    assert cdg.number_of_nodes() > 0
+    auto = compute_routes(irregular, scheme="auto")
+    assert auto.deadlock_free and is_deadlock_free(auto)
+
+
+def test_topology_json_round_trip_with_parallel_edges():
+    """to_json/from_json keeps duplicate parallel cables (distinct
+    interfaces between the same rank pair) and all routing behaviour."""
+    topo = Topology(
+        3,
+        [
+            Connection((0, 0), (1, 0)),
+            Connection((0, 1), (1, 1)),  # parallel cable, same rank pair
+            Connection((1, 2), (2, 0)),
+        ],
+        num_interfaces=4,
+        name="parallel",
+    )
+    back = Topology.from_json(topo.to_json())
+    assert back.num_ranks == topo.num_ranks
+    assert back.num_interfaces == topo.num_interfaces
+    assert back.name == topo.name
+    assert [str(c) for c in back.connections] == \
+        [str(c) for c in topo.connections]
+    # Parallel edges survive as distinct multigraph edges.
+    assert back.graph().number_of_edges(0, 1) == 2
+    r_a = compute_routes(topo, scheme="shortest")
+    r_b = compute_routes(back, scheme="shortest")
+    assert r_a.next_iface == r_b.next_iface
+    assert is_deadlock_free(r_a) == is_deadlock_free(r_b)

@@ -38,6 +38,7 @@ REQUIRED_ARCHITECTURE_HEADINGS = (
     "Slot economy: reserved slots and pairing",
     "Pattern replication",
     "Cruise mode & induction",
+    "Sharded execution & time sync",
     "Invariants the test suite pins",
 )
 
