@@ -137,6 +137,35 @@ class HardwareConfig:
         Number of fabric partitions for the sharded backends. Must be 1
         for the sequential backend and ``1 <= shards <= num_ranks``
         otherwise (the partitioner validates against the topology).
+    shard_transport:
+        Boundary-exchange transport of the ``process`` backend.
+        ``"shm"`` ships packed batch records through per-boundary
+        shared-memory rings (:mod:`repro.shard.wire`) and lets workers
+        self-pace mid-epoch — floors publish as soon as they are proven,
+        not at the epoch barrier; ``"pipe"`` sends the same packed
+        records over the control pipe in coordinator-driven epochs (the
+        PR-5 protocol with the pickle cost removed — useful for A/B
+        isolation of codec vs transport wins); ``"auto"`` (default)
+        picks ``shm`` when ``multiprocessing.shared_memory`` works on
+        the platform and falls back to ``pipe``. Ignored by the
+        ``sequential`` and in-process ``sharded`` backends, which move
+        no bytes. All transports are cycle-exact (the shard equivalence
+        and fuzz suites sweep them).
+    shard_ring_bytes:
+        Capacity, in bytes, of each shared-memory ring (two rings —
+        ship and ack — per directed boundary link). A full ring never
+        drops a record: the writer backlogs and retries, and oversized
+        batches are split at item granularity, so this is purely a
+        performance knob. The 1 MiB default holds thousands of epochs
+        of typical boundary traffic.
+    shard_inner_rounds:
+        Maximum self-paced exchange iterations a shared-memory worker
+        runs per coordinator round. Within one iteration a worker
+        drains its rings, recomputes its own conservative bound from
+        the freshest floors, runs to it, and publishes — so deeper
+        values amortise coordinator round-trips further; the cap keeps
+        global termination/deadlock checks (which need a barrier)
+        regularly scheduled.
     """
 
     clock_hz: float = DEFAULT_CLOCK_HZ
@@ -156,9 +185,15 @@ class HardwareConfig:
     record_accepts: bool = False
     backend: str = "sequential"
     shards: int = 1
+    shard_transport: str = "auto"
+    shard_ring_bytes: int = 1 << 20
+    shard_inner_rounds: int = 64
 
     #: Valid values of :attr:`backend`.
     BACKENDS = ("sequential", "sharded", "process")
+
+    #: Valid values of :attr:`shard_transport`.
+    SHARD_TRANSPORTS = ("auto", "shm", "pipe")
 
     def __post_init__(self) -> None:
         if self.clock_hz <= 0:
@@ -199,6 +234,21 @@ class HardwareConfig:
             raise ConfigurationError(
                 "shards > 1 requires backend='sharded' or 'process' "
                 f"(got backend='sequential', shards={self.shards})"
+            )
+        if self.shard_transport not in self.SHARD_TRANSPORTS:
+            known = ", ".join(self.SHARD_TRANSPORTS)
+            raise ConfigurationError(
+                f"unknown shard_transport {self.shard_transport!r} "
+                f"(known: {known})"
+            )
+        if self.shard_ring_bytes < 4096:
+            raise ConfigurationError(
+                "shard_ring_bytes must be >= 4096 (a ring must hold at "
+                f"least one record comfortably): {self.shard_ring_bytes}"
+            )
+        if self.shard_inner_rounds < 1:
+            raise ConfigurationError(
+                f"shard_inner_rounds must be >= 1: {self.shard_inner_rounds}"
             )
 
     # ------------------------------------------------------------------

@@ -14,9 +14,12 @@ Usage::
 simulation backend (``sequential`` / ``sharded`` / ``process``, see
 :mod:`repro.shard`) with ``--shards`` fabric partitions — so any
 experiment runs under any buffer regime and execution backend without
-code edits. The flags reach the measurement runners through the
-``REPRO_PRESET`` / ``REPRO_BACKEND`` / ``REPRO_SHARDS`` environment
-variables (:func:`repro.harness.runners.default_config`).
+code edits; ``--shard-transport`` additionally picks the process
+backend's boundary transport (shared-memory rings vs the coordinator
+pipe). The flags reach the measurement runners through the
+``REPRO_PRESET`` / ``REPRO_BACKEND`` / ``REPRO_SHARDS`` /
+``REPRO_SHARD_TRANSPORT`` environment variables
+(:func:`repro.harness.runners.default_config`).
 """
 
 from __future__ import annotations
@@ -138,10 +141,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=None,
                         help="fabric partitions for the sharded backends "
                              "(default: 2; requires --backend)")
+    parser.add_argument("--shard-transport", default=None,
+                        choices=("auto", "shm", "pipe"),
+                        help="process-backend boundary transport: "
+                             "shared-memory rings or the coordinator pipe "
+                             "(default: auto; requires --backend process)")
     args = parser.parse_args(argv)
     if args.shards is not None and args.backend not in ("sharded",
                                                         "process"):
         parser.error("--shards requires --backend sharded|process")
+    if args.shard_transport is not None and args.backend != "process":
+        parser.error("--shard-transport requires --backend process")
     if args.full:
         os.environ["REPRO_FULL_SWEEP"] = "1"
     if args.preset:
@@ -149,6 +159,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.backend:
         os.environ["REPRO_BACKEND"] = args.backend
         os.environ["REPRO_SHARDS"] = str(args.shards or 2)
+    if args.shard_transport:
+        os.environ["REPRO_SHARD_TRANSPORT"] = args.shard_transport
     # The benchmark modules live in benchmarks/, importable from the repo
     # root; fall back gracefully when invoked from elsewhere.
     here = os.path.dirname(os.path.dirname(os.path.dirname(

@@ -108,6 +108,37 @@ def planner_summary(stats) -> str:
     )
 
 
+def shard_timing_summary(timings: list[dict]) -> str:
+    """Per-shard wall-clock phase table for sharded benchmark reports.
+
+    Takes the ``ProgramResult.transport.shard_timing`` list (one
+    ``FinalReport.timing`` dict per shard) and renders where each
+    worker's wall-clock went: simulating (``compute``), encoding and
+    decoding boundary records (``serialize``), or blocked on the control
+    pipe (``ipc wait``) — plus the exchange-round counters that show how
+    hard the self-paced inner loop worked. Empty input (sequential or
+    in-process runs) renders as a single note line.
+    """
+    if not timings:
+        return "shard timing: n/a (no worker processes)"
+    rows = []
+    for i, t in enumerate(timings):
+        rows.append([
+            f"shard {i}",
+            f"{t.get('compute_s', 0.0) * 1e3:.1f}",
+            f"{t.get('serialize_s', 0.0) * 1e3:.1f}",
+            f"{t.get('ipc_wait_s', 0.0) * 1e3:.1f}",
+            t.get("inner_rounds", 0),
+            t.get("outer_rounds", 0),
+        ])
+    return format_table(
+        ["shard", "compute [ms]", "serialize [ms]", "ipc wait [ms]",
+         "inner rounds", "outer rounds"],
+        rows,
+        title="Per-shard wall-clock breakdown",
+    )
+
+
 def burst_summary(engine) -> str:
     """One-line burst fast-path summary for benchmark reports.
 

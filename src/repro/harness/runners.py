@@ -46,8 +46,10 @@ def default_config() -> HardwareConfig:
 
     ``REPRO_PRESET`` selects a named :data:`~repro.core.config.HW_PRESETS`
     entry (default ``noctua``); ``REPRO_BACKEND`` and ``REPRO_SHARDS``
-    select the execution backend on top (default sequential). The
-    ``smi-bench`` CLI sets these from ``--preset``/``--backend``.
+    select the execution backend on top (default sequential), and
+    ``REPRO_SHARD_TRANSPORT`` the process backend's boundary transport
+    (``auto``/``shm``/``pipe``). The ``smi-bench`` CLI sets these from
+    ``--preset``/``--backend``/``--shard-transport``.
     """
     config = hardware_preset(os.environ.get("REPRO_PRESET", "noctua"))
     backend = os.environ.get("REPRO_BACKEND")
@@ -55,6 +57,9 @@ def default_config() -> HardwareConfig:
         shards = int(os.environ.get("REPRO_SHARDS", "2"))
         config = config.with_(backend=backend,
                               shards=1 if backend == "sequential" else shards)
+    transport = os.environ.get("REPRO_SHARD_TRANSPORT")
+    if transport:
+        config = config.with_(shard_transport=transport)
     return config
 
 

@@ -15,31 +15,43 @@ selected by ``HardwareConfig.backend``:
   all inside the current process. No parallelism; this backend exists as
   the deterministic cycle-exactness reference for the epoch protocol
   and is what the equivalence/fuzz suites sweep.
-* **process** — the same shards and the same protocol, but each shard
-  runs in a forked worker process and the coordinator exchanges pickled
-  boundary batches over pipes. Fork (not spawn) start is required: the
-  shard runtimes — application kernel generators included — are built in
-  the parent and inherited by the workers, so only the boundary batches
-  and the final reports ever cross the process boundary.
+* **process** — the same shards and the same conservative protocol,
+  but each shard runs in a forked worker process. Boundary batches
+  travel in the packed binary wire format of :mod:`repro.shard.wire`
+  (one struct header + contiguous ndarray blocks per boundary per
+  exchange — not one pickle per packet), over one of two transports
+  selected by ``HardwareConfig.shard_transport``: per-boundary
+  shared-memory rings (``"shm"``, the default where available), where
+  workers self-pace mid-epoch — draining peers' floors and publishing
+  their own as soon as they are proven, without waiting for a
+  coordinator barrier — or the coordinator pipe (``"pipe"``), which
+  keeps the PR-5 round discipline with the pickle cost removed. Fork
+  (not spawn) start is required: the shard runtimes — application
+  kernel generators included — are built in the parent and inherited
+  by the workers, so only boundary records and final reports ever
+  cross the process boundary.
 
-On completed runs all three produce identical ``ProgramResult.cycles``,
-identical per-rank stores/returns, and identical per-FIFO push/pop
-counts and occupancy peaks; only simulator wall-clock differs. (A
-``max_cycles``-truncated run pins ``cycles``/``reason`` only: per-FIFO
-counters tally *committed* events, and the planes legitimately commit
-different distances past an arbitrary cap — exactly as the sequential
-burst plane already differs from per-flit there.) Speedup comes from
-genuine
-multi-core parallelism in the process backend and scales with fabric
-size over cut size — at small fabrics the per-epoch pickling and
-synchronisation overhead can eat the win (``benchmarks/run_smoke.py``
-reports the measured ratio honestly either way).
+On completed runs all backends produce identical
+``ProgramResult.cycles``, identical per-rank stores/returns, and
+identical per-FIFO push/pop counts and occupancy peaks; only simulator
+wall-clock differs. (A ``max_cycles``-truncated run pins
+``cycles``/``reason`` only: per-FIFO counters tally *committed* events,
+and the planes legitimately commit different distances past an
+arbitrary cap — exactly as the sequential burst plane already differs
+from per-flit there.) Speedup comes from genuine multi-core
+parallelism in the process backend and scales with fabric size over
+cut size; every shard reports a per-phase wall-clock breakdown
+(compute / serialize / IPC wait, surfaced on ``ProgramResult.transport
+.shard_timing``) so the overheads are measured, not guessed.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
 
 from ..core.comm import SMIComm
 from ..core.config import HardwareConfig
@@ -47,13 +59,27 @@ from ..core.context import SMIContext
 from ..core.errors import ConfigurationError
 from ..core.program import ProgramResult, SMIProgram
 from ..network.routing import compute_routes
-from ..simulation.engine import Engine
+from ..simulation.engine import FOREVER, Engine
 from ..simulation.memory import BoardMemory
 from ..simulation.stats import PlannerStats, collect_planner_stats
 from ..transport.builder import build_transport
 from .partitioner import Partition, partition_topology, validate_cut
 from .proxy import BoundaryRx, BoundaryTx
 from .timesync import BoundaryChannel, EpochReport, EpochSynchronizer
+from .wire import (
+    ShmFabric,
+    decode_exchange,
+    encode_exchange,
+    pack_ack_records,
+    pack_ship_records,
+    unpack_record,
+)
+
+
+def _new_phase() -> dict:
+    """Fresh per-shard wall-clock breakdown (see ``FinalReport.timing``)."""
+    return {"compute_s": 0.0, "serialize_s": 0.0, "ipc_wait_s": 0.0,
+            "inner_rounds": 0, "outer_rounds": 0}
 
 
 @dataclass
@@ -64,6 +90,162 @@ class FinalReport:
     returns: dict
     fifo_stats: dict
     planner_stats: PlannerStats
+    #: Per-phase wall-clock breakdown: ``compute_s`` (engine
+    #: ``run_until``), ``serialize_s`` (record codec + ring/pipe blob
+    #: work), ``ipc_wait_s`` (blocked on the control pipe), plus
+    #: ``inner_rounds`` (self-paced exchange iterations) and
+    #: ``outer_rounds`` (coordinator commands served).
+    timing: dict = field(default_factory=_new_phase)
+
+
+class _ShardLinks:
+    """One worker's half of the shared-memory boundary fabric.
+
+    Holds the rings this shard reads and writes, local mirrors of the
+    floors its conservative bound depends on (floors travel *inside*
+    ring records, so a floor is never observed before the batch it
+    bounds — no separate-cell races), a FIFO backlog per ring for
+    records that did not fit (never dropped, retried on the next
+    publish), and the last published floors so empty records are only
+    written when a floor actually moved.
+    """
+
+    def __init__(self, index: int, channels, fabric: ShmFabric) -> None:
+        self.index = index
+        self.key_ids = fabric.key_ids
+        self.keys_by_id = fabric.keys_by_id
+        self.max_record = fabric.ring_bytes - 4
+        self.in_ship: dict = {}
+        self.in_ack: dict = {}
+        self.out_ship: dict = {}
+        self.out_ack: dict = {}
+        self.horizon: dict = {}    # incoming cut links (this shard is dst)
+        self.ack_floor: dict = {}  # outgoing cut links (this shard is src)
+        self.slack: dict = {}      # own published tx self-sufficiency
+        for ch in channels:
+            if ch.src_shard == index:
+                self.out_ship[ch.key] = fabric.ship_rings[ch.key]
+                self.in_ack[ch.key] = fabric.ack_rings[ch.key]
+                self.ack_floor[ch.key] = ch.ack_floor
+                self.slack[ch.key] = ch.slack
+            if ch.dst_shard == index:
+                self.in_ship[ch.key] = fabric.ship_rings[ch.key]
+                self.out_ack[ch.key] = fabric.ack_rings[ch.key]
+                self.horizon[ch.key] = ch.horizon
+        self._backlog: dict = {}
+        self._last_pub: dict = {}
+
+    # -- inbound ------------------------------------------------------
+    def drain(self, runtime: "_ShardRuntime") -> int:
+        """Apply every readable record; returns items applied."""
+        applied = 0
+        for key in sorted(self.in_ack):
+            ring = self.in_ack[key]
+            while True:
+                record = ring.try_pop()
+                if record is None:
+                    break
+                _, ack = unpack_record(record, self.keys_by_id)
+                runtime.tx[key].apply(ack)
+                if ack.floor > self.ack_floor[key]:
+                    self.ack_floor[key] = ack.floor
+                applied += len(ack.cycles)
+        for key in sorted(self.in_ship):
+            ring = self.in_ship[key]
+            while True:
+                record = ring.try_pop()
+                if record is None:
+                    break
+                _, ship = unpack_record(record, self.keys_by_id)
+                runtime.rx[key].apply(ship)
+                if ship.horizon > self.horizon[key]:
+                    self.horizon[key] = ship.horizon
+                applied += len(ship.items)
+        return applied
+
+    # -- bound --------------------------------------------------------
+    def compute_bound(self, cap: int | None) -> int:
+        """This shard's conservative bound from the mirrored floors.
+
+        The same formula the coordinator's ``compute_bounds`` applies,
+        restricted to this shard's cut links — incoming horizons
+        forward, ``max(ack_floor + 1, slack)`` reverse.
+        """
+        bound = FOREVER if cap is None else cap
+        for horizon in self.horizon.values():
+            if horizon < bound:
+                bound = horizon
+        for key, floor in self.ack_floor.items():
+            rev = floor + 1
+            slack = self.slack[key]
+            if slack > rev:
+                rev = slack
+            if rev < bound:
+                bound = rev
+        return bound
+
+    # -- outbound -----------------------------------------------------
+    def publish(self, runtime: "_ShardRuntime", bound: int,
+                memo: dict) -> int:
+        """Collect and push this epoch's batches; returns items pushed.
+
+        Items are counted when they reach a ring (not when collected):
+        a backlogged record's items stay "in flight" until the peer can
+        actually see them, which keeps the coordinator's
+        progress/deadlock accounting exact.
+        """
+        pushed = self._flush_backlog()
+        for key in sorted(runtime.tx):
+            ship = runtime.tx[key].collect(runtime.engine, bound, memo)
+            self.slack[key] = ship.slack
+            if not ship.items:
+                state = (ship.horizon, ship.slack)
+                if self._last_pub.get(("ship", key)) == state:
+                    continue
+                self._last_pub[("ship", key)] = state
+            else:
+                self._last_pub[("ship", key)] = (ship.horizon, ship.slack)
+            records = pack_ship_records(self.key_ids[key], ship,
+                                        self.max_record)
+            pushed += self._push(self.out_ship[key], records)
+        for key in sorted(runtime.rx):
+            ack = runtime.rx[key].collect(runtime.engine, bound, memo)
+            if not ack.cycles:
+                if self._last_pub.get(("ack", key)) == ack.floor:
+                    continue
+            self._last_pub[("ack", key)] = ack.floor
+            records = pack_ack_records(self.key_ids[key], ack,
+                                       self.max_record)
+            pushed += self._push(self.out_ack[key], records)
+        return pushed
+
+    def _push(self, ring, records) -> int:
+        backlog = self._backlog.get(ring)
+        if backlog:  # keep per-ring FIFO order behind older records
+            backlog.extend(records)
+            return 0
+        pushed = 0
+        it = iter(records)
+        for record, items in it:
+            if ring.try_push(record):
+                pushed += items
+            else:
+                backlog = self._backlog.setdefault(ring, deque())
+                backlog.append((record, items))
+                backlog.extend(it)
+                break
+        return pushed
+
+    def _flush_backlog(self) -> int:
+        pushed = 0
+        for ring, backlog in self._backlog.items():
+            while backlog:
+                record, items = backlog[0]
+                if not ring.try_push(record):
+                    break
+                backlog.popleft()
+                pushed += items
+        return pushed
 
 
 class _ShardRuntime:
@@ -122,6 +304,12 @@ class _ShardRuntime:
                 dst_rank, dst_iface = link.dst
                 consumer = self.transport.rank(dst_rank).ckr[dst_iface]
                 self.rx[key] = BoundaryRx(key, link, consumer.proc)
+        self.phase = _new_phase()
+        self.inner_limit = program.config.shard_inner_rounds
+        # Process-backend wiring, attached by run_sharded before fork.
+        self.links: _ShardLinks | None = None
+        self.wire_key_ids: dict | None = None
+        self.wire_keys_by_id: list | None = None
 
     # ------------------------------------------------------------------
     def epoch(self, bound: int, ships: dict, acks: dict,
@@ -133,7 +321,10 @@ class _ShardRuntime:
             self.tx[key].apply(acks[key])
         for key in sorted(ships):
             self.rx[key].apply(ships[key])
+        t0 = perf_counter()
         reason, executed = self.engine.run_until(bound)
+        self.phase["compute_s"] += perf_counter() - t0
+        self.phase["outer_rounds"] += 1
         memo: dict = {}
         out_ships = {
             key: self.tx[key].collect(self.engine, bound, memo)
@@ -151,6 +342,86 @@ class _ShardRuntime:
             live_workers=self.engine.live_workers,
             last_worker_finish=self.engine.last_worker_finish,
             worker_floor=self.engine.live_worker_floor(memo),
+        )
+
+    def epoch_stream(self, cap: int | None, watermark: int) -> EpochReport:
+        """Self-paced exchange loop over the shared-memory rings.
+
+        Each iteration drains the rings (floors ride inside the
+        records, so everything drained is sound to use immediately),
+        recomputes this shard's conservative bound from the freshest
+        mirrors, runs the engine to it, and publishes what the epoch
+        committed. The loop ends when an iteration makes no progress —
+        nothing applied, nothing executed, bound not advanced — or
+        after ``shard_inner_rounds`` iterations, so the coordinator's
+        global termination/deadlock barrier runs regularly.
+        """
+        engine = self.engine
+        if watermark > engine.stats_fold_limit:
+            engine.stats_fold_limit = watermark
+        links = self.links
+        phase = self.phase
+        total_executed = shipped = delivered = 0
+        reason = "bound"
+        bound = 0
+        prev_bound = -1
+        for _ in range(self.inner_limit):
+            t0 = perf_counter()
+            applied = links.drain(self)
+            bound = links.compute_bound(cap)
+            t1 = perf_counter()
+            reason, executed = engine.run_until(bound)
+            t2 = perf_counter()
+            pushed = links.publish(self, bound, {})
+            t3 = perf_counter()
+            phase["serialize_s"] += (t1 - t0) + (t3 - t2)
+            phase["compute_s"] += t2 - t1
+            phase["inner_rounds"] += 1
+            delivered += applied
+            total_executed += executed
+            shipped += pushed
+            if not applied and not executed and bound <= prev_bound:
+                break
+            prev_bound = bound
+        phase["outer_rounds"] += 1
+        return EpochReport(
+            reason=reason,
+            executed=total_executed,
+            live_workers=engine.live_workers,
+            last_worker_finish=engine.last_worker_finish,
+            worker_floor=engine.live_worker_floor({}),
+            shipped=shipped,
+            delivered=delivered,
+            bound_reached=bound,
+        )
+
+    def epoch_drain(self, end: int, watermark: int) -> EpochReport:
+        """One drain iteration at bound ``end + 1`` over the rings."""
+        engine = self.engine
+        if watermark > engine.stats_fold_limit:
+            engine.stats_fold_limit = watermark
+        links = self.links
+        phase = self.phase
+        t0 = perf_counter()
+        applied = links.drain(self)
+        t1 = perf_counter()
+        reason, executed = engine.run_until(end + 1)
+        t2 = perf_counter()
+        pushed = links.publish(self, end + 1, {})
+        t3 = perf_counter()
+        phase["serialize_s"] += (t1 - t0) + (t3 - t2)
+        phase["compute_s"] += t2 - t1
+        phase["inner_rounds"] += 1
+        phase["outer_rounds"] += 1
+        return EpochReport(
+            reason=reason,
+            executed=executed,
+            live_workers=engine.live_workers,
+            last_worker_finish=engine.last_worker_finish,
+            worker_floor=engine.live_worker_floor({}),
+            shipped=pushed,
+            delivered=applied,
+            bound_reached=end + 1,
         )
 
     def dump_blocked(self) -> list[str]:
@@ -182,11 +453,16 @@ class _ShardRuntime:
         returns = {
             (name, rank): proc.result for name, rank, proc in self.procs
         }
+        timing = {
+            key: (round(value, 6) if isinstance(value, float) else value)
+            for key, value in self.phase.items()
+        }
         return FinalReport(
             stores=dict(self.stores),
             returns=returns,
             fifo_stats=fifo_stats,
             planner_stats=collect_planner_stats(self.transport),
+            timing=timing,
         )
 
 
@@ -195,6 +471,12 @@ class _ShardRuntime:
 # ----------------------------------------------------------------------
 class LocalHandle:
     """In-process shard: epochs execute synchronously on begin_epoch."""
+
+    #: begin_epoch completes the epoch before returning, so the
+    #: synchroniser may fold this shard's floors before its successors
+    #: run (eager Gauss–Seidel rounds).
+    synchronous = True
+    self_exchanging = False
 
     def __init__(self, runtime: _ShardRuntime) -> None:
         self.runtime = runtime
@@ -216,16 +498,48 @@ class LocalHandle:
     def close(self) -> None:
         pass
 
+    def __enter__(self) -> "LocalHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 def _worker_main(conn, runtime: _ShardRuntime) -> None:
-    """Forked worker loop: serve epoch/dump/finish commands over a pipe."""
+    """Forked worker loop: serve shard commands over the control pipe.
+
+    Commands: ``("epoch", bound, blob, watermark)`` — the pipe
+    transport's coordinator-driven epoch, batches as one packed record
+    blob each way; ``("stream", cap, watermark)`` /
+    ``("drain", end, watermark)`` — the shared-memory transport's
+    self-paced rounds (batches never touch the pipe); ``("dump",)`` and
+    ``("finish", end)`` as before.
+    """
+    phase = runtime.phase
     try:
         while True:
+            t0 = perf_counter()
             msg = conn.recv()
+            phase["ipc_wait_s"] += perf_counter() - t0
             cmd = msg[0]
             try:
                 if cmd == "epoch":
-                    payload = runtime.epoch(msg[1], msg[2], msg[3], msg[4])
+                    t0 = perf_counter()
+                    ships, acks = decode_exchange(msg[2],
+                                                  runtime.wire_keys_by_id)
+                    phase["serialize_s"] += perf_counter() - t0
+                    report = runtime.epoch(msg[1], ships, acks, msg[3])
+                    t0 = perf_counter()
+                    blob = encode_exchange(report.ships, report.acks,
+                                           runtime.wire_key_ids)
+                    phase["serialize_s"] += perf_counter() - t0
+                    report.ships = {}
+                    report.acks = {}
+                    payload = (report, blob)
+                elif cmd == "stream":
+                    payload = runtime.epoch_stream(msg[1], msg[2])
+                elif cmd == "drain":
+                    payload = runtime.epoch_drain(msg[1], msg[2])
                 elif cmd == "dump":
                     payload = runtime.dump_blocked()
                 elif cmd == "finish":
@@ -248,10 +562,27 @@ def _worker_main(conn, runtime: _ShardRuntime) -> None:
 
 
 class ProcessHandle:
-    """Forked-worker shard: boundary batches cross a pipe, pickled."""
+    """Forked-worker shard: packed boundary records, shm rings or pipe.
 
-    def __init__(self, runtime: _ShardRuntime, ctx) -> None:
+    A context manager: ``close`` terminates and joins the worker, and
+    ``run_sharded`` enters every handle on an ``ExitStack`` the moment
+    it is constructed — a failure while the remaining shards are still
+    being forked (or any mid-run coordinator exception) tears down
+    every worker already started instead of leaking it.
+    """
+
+    synchronous = False
+
+    def __init__(self, runtime: _ShardRuntime, ctx,
+                 transport: str = "pipe") -> None:
         self.index = runtime.index
+        self.transport = transport
+        #: True when boundary batches move through shared-memory rings
+        #: worker-to-worker; the synchroniser then only runs barriers.
+        self.self_exchanging = transport == "shm"
+        self._key_ids = runtime.wire_key_ids
+        self._keys_by_id = runtime.wire_keys_by_id
+        self._mode: str | None = None
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(
             target=_worker_main, args=(child, runtime), daemon=True,
@@ -272,10 +603,27 @@ class ProcessHandle:
         return payload
 
     def begin_epoch(self, bound, ships, acks, watermark=0) -> None:
-        self._conn.send(("epoch", bound, ships, acks, watermark))
+        blob = encode_exchange(ships, acks, self._key_ids)
+        self._conn.send(("epoch", bound, blob, watermark))
+        self._mode = "epoch"
+
+    def begin_stream(self, cap, watermark=0) -> None:
+        self._conn.send(("stream", cap, watermark))
+        self._mode = "stream"
+
+    def begin_drain(self, end, watermark=0) -> None:
+        self._conn.send(("drain", end, watermark))
+        self._mode = "drain"
 
     def finish_epoch(self) -> EpochReport:
-        return self._recv()
+        payload = self._recv()
+        if self._mode == "epoch":
+            report, blob = payload
+            ships, acks = decode_exchange(blob, self._keys_by_id)
+            report.ships = ships
+            report.acks = acks
+            return report
+        return payload
 
     def dump_blocked(self) -> list[str]:
         self._conn.send(("dump",))
@@ -290,6 +638,12 @@ class ProcessHandle:
             self._proc.terminate()
         self._proc.join(timeout=5)
         self._conn.close()
+
+    def __enter__(self) -> "ProcessHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------
@@ -314,15 +668,19 @@ class ShardedTransportView:
     process backend, so there it stays empty);
     ``planner_stats_snapshot`` carries the cluster-wide aggregate either
     way, honoured by
-    :func:`repro.simulation.stats.collect_planner_stats`.
+    :func:`repro.simulation.stats.collect_planner_stats`;
+    ``shard_timing`` is the per-shard wall-clock phase breakdown
+    (one ``FinalReport.timing`` dict per shard, in shard order).
     """
 
     def __init__(self, config, routes, ranks: dict,
-                 planner_stats: PlannerStats) -> None:
+                 planner_stats: PlannerStats,
+                 shard_timing: list | None = None) -> None:
         self.config = config
         self.routes = routes
         self.ranks = ranks
         self.planner_stats_snapshot = planner_stats
+        self.shard_timing = shard_timing or []
 
     def rank(self, rank: int):
         return self.ranks[rank]
@@ -340,6 +698,21 @@ def resolve_partition(program: SMIProgram) -> Partition:
     if isinstance(explicit, Partition):
         return explicit
     return partition_topology(topology, len(explicit), rank_lists=explicit)
+
+
+def _resolve_transport(config: HardwareConfig, keys: list) -> ShmFabric | None:
+    """The shm fabric for this run, or None for the pipe transport."""
+    if config.shard_transport == "pipe":
+        return None
+    try:
+        return ShmFabric(keys, config.shard_ring_bytes)
+    except Exception as exc:
+        if config.shard_transport == "shm":
+            raise ConfigurationError(
+                f"shard_transport='shm' is unavailable here ({exc}); "
+                "use shard_transport='pipe' or 'auto'"
+            ) from exc
+        return None  # auto: fall back to the pipe transport
 
 
 def run_sharded(program: SMIProgram,
@@ -375,26 +748,41 @@ def run_sharded(program: SMIProgram,
                 dst_shard=shard_of[link.dst[0]],
                 latency=link.fifo.latency,
             ))
+    fabric = None
     if use_processes:
-        handles = [ProcessHandle(rt, ctx) for rt in runtimes]
-    else:
-        handles = [LocalHandle(rt) for rt in runtimes]
-    try:
+        keys = sorted(ch.key for ch in channels)
+        key_ids = {key: i for i, key in enumerate(keys)}
+        fabric = _resolve_transport(config, keys)
+        for i, rt in enumerate(runtimes):
+            rt.wire_key_ids = key_ids
+            rt.wire_keys_by_id = keys
+            if fabric is not None:
+                rt.links = _ShardLinks(i, channels, fabric)
+    with contextlib.ExitStack() as stack:
+        if fabric is not None:
+            stack.callback(fabric.close)
+        handles: list = []
+        for rt in runtimes:
+            if use_processes:
+                handle = ProcessHandle(
+                    rt, ctx, "shm" if fabric is not None else "pipe")
+            else:
+                handle = LocalHandle(rt)
+            handles.append(stack.enter_context(handle))
         sync = EpochSynchronizer(handles, channels)
         outcome = sync.run(max_cycles)
         finals = [handle.finish(outcome.cycles) for handle in handles]
-    finally:
-        for handle in handles:
-            handle.close()
     stores: dict = {}
     returns: dict = {}
     fifo_stats: dict = {}
     planner_stats = PlannerStats()
+    shard_timing: list = []
     for final in finals:
         stores.update(final.stores)
         returns.update(final.returns)
         fifo_stats.update(final.fifo_stats)
         planner_stats = planner_stats.merge(final.planner_stats)
+        shard_timing.append(final.timing)
     merged_ranks: dict = {}
     if not use_processes:
         for rt in runtimes:
@@ -407,6 +795,6 @@ def run_sharded(program: SMIProgram,
         returns=returns,
         engine=ShardedEngineView(fifo_stats, outcome.cycles),
         transport=ShardedTransportView(config, routes, merged_ranks,
-                                       planner_stats),
+                                       planner_stats, shard_timing),
         routes=routes,
     )

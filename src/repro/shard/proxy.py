@@ -58,6 +58,28 @@ class ShipBatch:
     #: information below this cycle.
     slack: int = 0
 
+    def pack(self, key_id: int) -> bytes:
+        """Encode as one packed wire record (see :mod:`repro.shard.wire`).
+
+        Items that are plain :class:`~repro.network.packet.Packet`
+        objects with registered scalar datatypes take the contiguous
+        ndarray fast path; anything else falls back to pickle inside the
+        same record framing.
+        """
+        from .wire import pack_ship
+
+        return pack_ship(key_id, self)
+
+    @staticmethod
+    def unpack(record: bytes, keys_by_id) -> "ShipBatch":
+        """Decode one record produced by :meth:`pack`."""
+        from .wire import unpack_record
+
+        kind, batch = unpack_record(record, keys_by_id)
+        if kind != "ship":
+            raise TypeError(f"record holds an {kind} batch, not a ship")
+        return batch
+
 
 @dataclass
 class AckBatch:
@@ -73,6 +95,22 @@ class AckBatch:
     key: tuple[int, int]
     cycles: tuple
     floor: int
+
+    def pack(self, key_id: int) -> bytes:
+        """Encode as one packed wire record (see :mod:`repro.shard.wire`)."""
+        from .wire import pack_ack
+
+        return pack_ack(key_id, self)
+
+    @staticmethod
+    def unpack(record: bytes, keys_by_id) -> "AckBatch":
+        """Decode one record produced by :meth:`pack`."""
+        from .wire import unpack_record
+
+        kind, batch = unpack_record(record, keys_by_id)
+        if kind != "ack":
+            raise TypeError(f"record holds a {kind} batch, not an ack")
+        return batch
 
 
 def tx_self_sufficiency(link, bound: int) -> int:

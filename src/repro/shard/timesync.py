@@ -90,6 +90,16 @@ class EpochReport:
     #: lower bound on the global end cycle, ratcheted into the stats
     #: watermark every shard's FIFO folds respect.
     worker_floor: int = 0
+    #: Boundary items the shard itself pushed/applied this round, for
+    #: self-exchanging (shared-memory) handles whose batches never
+    #: reach the coordinator; -1 means "coordinator counts from the
+    #: batch dicts" (local and pipe handles).
+    shipped: int = -1
+    delivered: int = -1
+    #: Deepest conservative bound the shard ran to this round (used by
+    #: the ``max_cycles`` check when the coordinator no longer computes
+    #: bounds itself).
+    bound_reached: int = 0
 
 
 @dataclass
@@ -131,8 +141,30 @@ class EpochSynchronizer:
         finish_epoch() -> EpochReport    # collect its report
         dump_blocked() -> list[str]      # deadlock diagnostics
 
-    ``begin_epoch`` on every handle before any ``finish_epoch`` is what
-    lets the process backend overlap the epochs of all shards.
+    and two capability flags that select the round discipline:
+
+    * ``synchronous`` — ``begin_epoch`` runs the epoch to completion
+      before returning (the in-process :class:`LocalHandle`). Such
+      rounds fold *eagerly* (Gauss–Seidel): each shard's bound is
+      recomputed from the floors its predecessors published moments
+      ago, and their batches are delivered in the same round — fresher
+      information, deeper epochs, identical cycle trajectories (floors
+      are sound whenever published; ``max``-merging keeps them
+      monotone).
+    * ``self_exchanging`` — the handle moves boundary batches itself
+      (shared-memory rings) and self-paces *mid-epoch*: within one
+      coordinator round a worker repeatedly drains its rings,
+      recomputes its own conservative bound from the freshest floors,
+      runs, and publishes — floors post as soon as they are proven,
+      not at the round barrier, pushing effective lookahead past the
+      ~L/2 a half-duplex epoch exchange yields. The coordinator then
+      only supplies the barrier: termination, deadlock and
+      ``max_cycles`` detection from the per-round reports (which carry
+      ``shipped``/``delivered``/``bound_reached`` instead of batches).
+
+    For plain asynchronous handles (pipe transport), ``begin_epoch`` on
+    every handle before any ``finish_epoch`` is what overlaps the
+    epochs of all shards.
     """
 
     def __init__(self, handles, channels: list[BoundaryChannel]) -> None:
@@ -148,42 +180,113 @@ class EpochSynchronizer:
         self.watermark = 0
         self.rounds = 0
         self.epochs_executed = 0
+        self.streaming = bool(handles) and all(
+            getattr(h, "self_exchanging", False) for h in handles
+        )
+        self.eager = not self.streaming and all(
+            getattr(h, "synchronous", False) for h in handles
+        )
 
     # ------------------------------------------------------------------
-    def _round(self, bounds: list[int]) -> tuple[list[EpochReport], int, bool]:
-        """One synchronous round: deliver, run all shards, collect."""
+    def _deliver(self, i: int, handle, bound: int) -> int:
+        """Hand shard ``i`` its pending batches; returns items delivered."""
+        ships = self._pending_ships[i]
+        acks = self._pending_acks[i]
+        delivered = sum(len(s.items) for s in ships.values())
+        delivered += sum(len(a.cycles) for a in acks.values())
+        self._pending_ships[i] = {}
+        self._pending_acks[i] = {}
+        handle.begin_epoch(bound, ships, acks, self.watermark)
+        return delivered
+
+    def _fold(self, report: EpochReport) -> int:
+        """Merge one report's floors/batches; returns items shipped."""
+        mark = max(report.last_worker_finish, report.worker_floor)
+        if mark > self.watermark:
+            self.watermark = mark
+        shipped = 0
+        for key, ship in report.ships.items():
+            ch = self._by_key[key]
+            if ship.horizon > ch.horizon:
+                ch.horizon = ship.horizon
+            ch.slack = ship.slack  # latest state supersedes
+            shipped += len(ship.items)
+            self._pending_ships[ch.dst_shard][key] = ship
+        for key, ack in report.acks.items():
+            ch = self._by_key[key]
+            if ack.floor > ch.ack_floor:
+                ch.ack_floor = ack.floor
+            shipped += len(ack.cycles)
+            self._pending_acks[ch.src_shard][key] = ack
+        return shipped
+
+    def _eager_bound(self, i: int, ceiling: int) -> int:
+        """Shard ``i``'s bound from the floors as they stand *right now*."""
+        bound = ceiling
+        for ch in self.channels:
+            if ch.dst_shard == i and ch.horizon < bound:
+                bound = ch.horizon
+            if ch.src_shard == i:
+                rev = ch.ack_floor + 1
+                if ch.slack > rev:
+                    rev = ch.slack
+                if rev < bound:
+                    bound = rev
+        return bound
+
+    def _round(self, bounds: list[int],
+               ceiling: int | None = None) -> tuple[list[EpochReport], int, bool]:
+        """One round: deliver, run all shards, collect.
+
+        With synchronous handles and a ``ceiling`` (main rounds), each
+        shard's bound is recomputed just before it runs, folding in the
+        floors earlier shards published within this very round.
+        """
         handles = self.handles
         delivered = 0
-        for i, handle in enumerate(handles):
-            ships = self._pending_ships[i]
-            acks = self._pending_acks[i]
-            delivered += sum(len(s.items) for s in ships.values())
-            delivered += sum(len(a.cycles) for a in acks.values())
-            self._pending_ships[i] = {}
-            self._pending_acks[i] = {}
-            handle.begin_epoch(bounds[i], ships, acks, self.watermark)
+        shipped = 0
+        if self.eager and ceiling is not None:
+            reports = []
+            for i, handle in enumerate(handles):
+                delivered += self._deliver(i, handle,
+                                           self._eager_bound(i, ceiling))
+                report = handle.finish_epoch()
+                shipped += self._fold(report)
+                reports.append(report)
+        else:
+            for i, handle in enumerate(handles):
+                delivered += self._deliver(i, handle, bounds[i])
+            reports = [handle.finish_epoch() for handle in handles]
+            for report in reports:
+                shipped += self._fold(report)
+        self.rounds += 1
+        self.epochs_executed += sum(r.executed for r in reports)
+        return reports, shipped, delivered > 0
+
+    def _stream_round(self, cap: int | None,
+                      drain_end: int | None = None
+                      ) -> tuple[list[EpochReport], int, int]:
+        """One barrier round over self-exchanging handles."""
+        handles = self.handles
+        for handle in handles:
+            if drain_end is None:
+                handle.begin_stream(cap, self.watermark)
+            else:
+                handle.begin_drain(drain_end, self.watermark)
         reports = [handle.finish_epoch() for handle in handles]
         shipped = 0
+        delivered = 0
         for report in reports:
             mark = max(report.last_worker_finish, report.worker_floor)
             if mark > self.watermark:
                 self.watermark = mark
-            for key, ship in report.ships.items():
-                ch = self._by_key[key]
-                if ship.horizon > ch.horizon:
-                    ch.horizon = ship.horizon
-                ch.slack = ship.slack  # latest state supersedes
-                shipped += len(ship.items)
-                self._pending_ships[ch.dst_shard][key] = ship
-            for key, ack in report.acks.items():
-                ch = self._by_key[key]
-                if ack.floor > ch.ack_floor:
-                    ch.ack_floor = ack.floor
-                shipped += len(ack.cycles)
-                self._pending_acks[ch.src_shard][key] = ack
+            if report.shipped > 0:
+                shipped += report.shipped
+            if report.delivered > 0:
+                delivered += report.delivered
         self.rounds += 1
         self.epochs_executed += sum(r.executed for r in reports)
-        return reports, shipped, delivered > 0
+        return reports, shipped, delivered
 
     def _deadlock(self) -> DeadlockError:
         blocked: list[str] = []
@@ -202,9 +305,12 @@ class EpochSynchronizer:
         """Run epochs until every worker finishes (or the cap is hit)."""
         num = len(self.handles)
         cap = None if max_cycles is None else max_cycles + 1
+        if self.streaming:
+            return self._run_streaming(max_cycles, cap)
+        ceiling = FOREVER if cap is None else cap
         while True:
             bounds = compute_bounds(self.channels, num, cap)
-            reports, shipped, delivered = self._round(bounds)
+            reports, shipped, delivered = self._round(bounds, ceiling)
             if all(r.live_workers == 0 for r in reports):
                 end = max(r.last_worker_finish for r in reports)
                 self._drain(end)
@@ -220,6 +326,31 @@ class EpochSynchronizer:
             # Events exist beyond every bound; the floors ratchet the
             # global minimum bound up each round, so progress follows.
 
+    def _run_streaming(self, max_cycles: int | None,
+                       cap: int | None) -> SyncResult:
+        """Barrier loop over self-exchanging (shared-memory) handles.
+
+        Workers exchange batches and floors among themselves mid-round;
+        each barrier only aggregates progress counters to decide
+        completion, deadlock, or cap exhaustion — the same decisions,
+        from the same evidence, as the batch-folding loop above.
+        """
+        while True:
+            reports, shipped, delivered = self._stream_round(cap)
+            if all(r.live_workers == 0 for r in reports):
+                end = max(r.last_worker_finish for r in reports)
+                self._drain(end)
+                return SyncResult("completed", end, self.rounds,
+                                  self.epochs_executed)
+            if shipped or delivered or any(r.executed for r in reports):
+                continue
+            if all(r.reason == "idle" for r in reports):
+                raise self._deadlock()
+            if cap is not None and all(r.bound_reached >= cap
+                                       for r in reports):
+                return SyncResult("max_cycles", max_cycles, self.rounds,
+                                  self.epochs_executed)
+
     def _drain(self, end: int) -> None:
         """Drive every shard through cycle ``end`` and flush boundaries.
 
@@ -234,7 +365,11 @@ class EpochSynchronizer:
             self.watermark = end  # the global end is now exactly known
         bounds = [end + 1] * len(self.handles)
         while True:
-            reports, shipped, delivered = self._round(bounds)
+            if self.streaming:
+                reports, shipped, delivered = self._stream_round(
+                    None, drain_end=end)
+            else:
+                reports, shipped, delivered = self._round(bounds)
             if not shipped and not delivered \
                     and not any(r.executed for r in reports):
                 return

@@ -24,6 +24,7 @@ tier-1; the slow-marked extended sweep honours ``--fuzz-iters`` for the
 nightly CI job.
 """
 
+import multiprocessing
 import random
 
 import numpy as np
@@ -36,6 +37,8 @@ from repro.core.ops import SMI_ADD
 #: The five data planes whose cycle trajectories must coincide. The
 #: ``sharded`` plane additionally sets ``backend``/``shards`` from the
 #: case's drawn cut inside ``_assert_planes_agree``.
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
 PLANES = {
     "flit": dict(burst_mode=False),
     "burst": dict(pattern_replication=False),
@@ -299,3 +302,41 @@ def test_fuzz_cycle_equivalence_extended(request):
     iters = request.config.getoption("--fuzz-iters")
     for seed in range(1000, 1000 + iters):
         _assert_planes_agree(_gen_case(random.Random(seed)))
+
+
+def _assert_process_plane_agrees(case: dict, transport: str) -> None:
+    """The forked-worker plane vs the in-process reference on one case."""
+    base = NOCTUA.with_(
+        inter_ck_fifo_depth=case["inter_ck_fifo_depth"],
+        endpoint_fifo_depth=case["endpoint_fifo_depth"],
+        read_burst=case["read_burst"],
+    )
+    partition = case["cut"]
+    ref_marks, ref_counts = _run_case(case, base)
+    marks, counts = _run_case(
+        case,
+        base.with_(backend="process", shards=len(partition),
+                   shard_transport=transport),
+        partition,
+    )
+    assert marks == ref_marks, f"process/{transport} diverged on {case}"
+    assert counts == ref_counts, (
+        f"process/{transport} FIFO stats diverged on {case}"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+@pytest.mark.parametrize("transport", ("shm", "pipe"))
+def test_fuzz_process_equivalence(request, transport):
+    """Nightly: forked workers over random cuts, both boundary transports.
+
+    Fork + IPC makes each case ~10x the in-process cost, so this sweeps
+    a handful of seeds per transport from its own region of seed space
+    (tier-1 pins the deterministic process cases in ``test_shard.py``).
+    """
+    iters = min(5, request.config.getoption("--fuzz-iters"))
+    start = 2000 if transport == "shm" else 2500
+    for seed in range(start, start + iters):
+        _assert_process_plane_agrees(_gen_case(random.Random(seed)),
+                                     transport)

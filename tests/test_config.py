@@ -130,3 +130,25 @@ def test_kernel_clock_interpolation_and_clamping():
 def test_kernel_clock_empty_model_uses_default():
     model = KernelClockModel(fmax_by_width_hz={}, default_fmax_hz=100e6)
     assert model.fmax(16) == pytest.approx(100e6)
+
+
+def test_shard_transport_knobs_round_trip():
+    cfg = NOCTUA.with_(shard_transport="shm", shard_ring_bytes=8192,
+                       shard_inner_rounds=16)
+    assert cfg.shard_transport == "shm"
+    assert cfg.shard_ring_bytes == 8192
+    assert cfg.shard_inner_rounds == 16
+    assert NOCTUA.shard_transport == "auto"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"shard_transport": "tcp"},
+        {"shard_ring_bytes": 64},
+        {"shard_inner_rounds": 0},
+    ],
+)
+def test_invalid_shard_transport_knobs_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        NOCTUA.with_(**kwargs)

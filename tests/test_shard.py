@@ -11,6 +11,7 @@ cut. ``tests/test_burst_fuzz.py`` additionally sweeps random cuts.
 """
 
 import multiprocessing
+import time
 
 import numpy as np
 import pytest
@@ -442,10 +443,17 @@ def test_explicit_partition_and_unbalanced_cut():
 
 
 # ----------------------------------------------------------------------
-# Process backend (forked workers, pickled boundary batches)
+# Process backend (forked workers, packed boundary records)
 # ----------------------------------------------------------------------
+#: Both boundary transports of the process backend: shared-memory rings
+#: (self-paced mid-epoch exchange) and the coordinator pipe (PR-5 round
+#: discipline over the packed codec).
+TRANSPORTS = ("shm", "pipe")
+
+
 @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
-def test_process_backend_equivalence():
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_process_backend_equivalence(transport):
     n, hops = 1024, 4
 
     def build(config):
@@ -469,22 +477,161 @@ def test_process_backend_equivalence():
         return res
 
     ref = build(NOCTUA_DEEP)
-    fast = build(NOCTUA_DEEP.with_(backend="process", shards=2))
+    fast = build(NOCTUA_DEEP.with_(backend="process", shards=2,
+                                   shard_transport=transport))
     assert fast.cycles == ref.cycles
     assert fast.store(hops, "end") == ref.store(hops, "end")
     assert fast.store(hops, "sum") == ref.store(hops, "sum")
     assert _fifo_counts(fast.engine) == _fifo_counts(ref.engine)
+    # Every worker reported its wall-clock phase breakdown.
+    timing = fast.transport.shard_timing
+    assert len(timing) == 2
+    for t in timing:
+        assert set(t) == {"compute_s", "serialize_s", "ipc_wait_s",
+                          "inner_rounds", "outer_rounds"}
+        assert t["outer_rounds"] > 0
 
 
 @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
-def test_process_backend_collective():
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_process_backend_collective(transport):
     build, num_ranks = _collective_build("reduce", n=48)
     ref = build(NOCTUA)
-    fast = build(NOCTUA.with_(backend="process", shards=2))
+    fast = build(NOCTUA.with_(backend="process", shards=2,
+                              shard_transport=transport))
     assert fast.cycles == ref.cycles
     for rank in range(num_ranks):
         assert fast.store(rank, "end") == ref.store(rank, "end")
     assert _fifo_counts(fast.engine) == _fifo_counts(ref.engine)
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+def test_process_backend_tiny_rings_split_and_backlog():
+    """A minimum-size ring forces record splitting and backlog retries.
+
+    With 4 KiB rings a few-thousand-element stream cannot ship an
+    epoch's batch in one record — it must split, fill the ring, backlog
+    the remainder and retry across inner rounds — and the run must stay
+    cycle-exact through all of it.
+    """
+    n, hops = 2048, 4
+
+    def build(config):
+        prog = SMIProgram(noctua_bus(), config=config)
+        data = np.arange(n, dtype=np.float32)
+
+        def snd(smi):
+            ch = smi.open_send_channel(n, SMI_FLOAT, hops, 0)
+            yield from ch.push_vec(data, width=8)
+
+        def rcv(smi):
+            ch = smi.open_recv_channel(n, SMI_FLOAT, 0, 0)
+            out = yield from ch.pop_vec(n, width=8)
+            smi.store("sum", float(np.sum(out)))
+
+        prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_FLOAT)])
+        prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, SMI_FLOAT)])
+        res = prog.run(max_cycles=50_000_000)
+        assert res.completed, res.reason
+        return res
+
+    ref = build(NOCTUA_DEEP)
+    fast = build(NOCTUA_DEEP.with_(backend="process", shards=2,
+                                   shard_transport="shm",
+                                   shard_ring_bytes=4096))
+    assert fast.cycles == ref.cycles
+    assert fast.store(hops, "sum") == ref.store(hops, "sum")
+    assert _fifo_counts(fast.engine) == _fifo_counts(ref.engine)
+
+
+# ----------------------------------------------------------------------
+# Worker lifecycle: no forked process may outlive its run
+# ----------------------------------------------------------------------
+def _assert_no_live_workers():
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        alive = [p for p in multiprocessing.active_children()
+                 if p.name.startswith("smi-shard-")]
+        if not alive:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"leaked shard workers: {alive}")
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_no_worker_leak_on_kernel_exception(transport):
+    """A kernel raising mid-run must not leave forked workers behind."""
+    n, hops = 256, 4
+
+    def snd(smi):
+        ch = smi.open_send_channel(n, SMI_FLOAT, hops, 0)
+        yield from ch.push_vec(np.zeros(n, dtype=np.float32), width=8)
+
+    def rcv(smi):
+        ch = smi.open_recv_channel(n, SMI_FLOAT, 0, 0)
+        yield from ch.pop_vec(64, width=8)
+        raise RuntimeError("injected mid-run failure")
+
+    prog = SMIProgram(noctua_bus(),
+                      config=NOCTUA.with_(backend="process", shards=2,
+                                          shard_transport=transport))
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_FLOAT)])
+    prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, SMI_FLOAT)])
+    with pytest.raises(RuntimeError, match="injected mid-run failure"):
+        prog.run(max_cycles=50_000_000)
+    _assert_no_live_workers()
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+def test_no_worker_leak_on_partial_construction(monkeypatch):
+    """A handle failing to start must tear down the already-forked ones.
+
+    Regression: handle construction used to run in a list comprehension
+    *outside* the try/finally, so shard 0's forked worker leaked if
+    shard 1's fork failed. Handles now enter an ExitStack one by one.
+    """
+    from repro.shard import backend as backend_mod
+
+    real_init = backend_mod.ProcessHandle.__init__
+    started = []
+
+    def failing_init(self, runtime, ctx, transport="pipe"):
+        if runtime.index == 1:
+            raise OSError("injected fork failure")
+        real_init(self, runtime, ctx, transport)
+        started.append(self)
+
+    monkeypatch.setattr(backend_mod.ProcessHandle, "__init__", failing_init)
+    n, hops = 64, 4
+    prog = SMIProgram(noctua_bus(),
+                      config=NOCTUA.with_(backend="process", shards=2))
+
+    def snd(smi):
+        ch = smi.open_send_channel(n, SMI_FLOAT, hops, 0)
+        yield from ch.push_vec(np.zeros(n, dtype=np.float32), width=8)
+
+    def rcv(smi):
+        ch = smi.open_recv_channel(n, SMI_FLOAT, 0, 0)
+        yield from ch.pop_vec(n, width=8)
+
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_FLOAT)])
+    prog.add_kernel(rcv, rank=hops, ops=[OpDecl("recv", 0, SMI_FLOAT)])
+    with pytest.raises(OSError, match="injected fork failure"):
+        prog.run(max_cycles=50_000_000)
+    assert started, "shard 0's handle never started — test is vacuous"
+    _assert_no_live_workers()
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_process_backend_deadlock_detected(transport):
+    with pytest.raises(DeadlockError, match="Blocked processes"):
+        _deadlocking_program(
+            NOCTUA.with_(backend="process", shards=2,
+                         shard_transport=transport)
+        ).run(max_cycles=1_000_000)
+    _assert_no_live_workers()
 
 
 # ----------------------------------------------------------------------
@@ -515,33 +662,47 @@ def test_sharded_deadlock_detected_like_sequential():
         ).run(max_cycles=1_000_000)
 
 
+def _run_truncated(config):
+    """An 8-element stream whose sender then sleeps past the cycle cap."""
+    prog = SMIProgram(bus(2), config=config)
+
+    def snd(smi):
+        ch = smi.open_send_channel(8, SMI_INT, 1, 0)
+        for i in range(8):
+            yield from smi.push(ch, i)
+        yield smi.wait(10_000_000)  # outlives the cap
+
+    def rcv(smi):
+        ch = smi.open_recv_channel(8, SMI_INT, 0, 0)
+        for _ in range(8):
+            yield from smi.pop(ch)
+
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_INT)])
+    prog.add_kernel(rcv, rank=1, ops=[OpDecl("recv", 0, SMI_INT)])
+    return prog.run(max_cycles=5_000)
+
+
 def test_sharded_max_cycles():
-    def build(config):
-        prog = SMIProgram(bus(2), config=config)
-
-        def snd(smi):
-            ch = smi.open_send_channel(8, SMI_INT, 1, 0)
-            for i in range(8):
-                yield from smi.push(ch, i)
-            yield smi.wait(10_000_000)  # outlives the cap
-
-        def rcv(smi):
-            ch = smi.open_recv_channel(8, SMI_INT, 0, 0)
-            for _ in range(8):
-                yield from smi.pop(ch)
-
-        prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_INT)])
-        prog.add_kernel(rcv, rank=1, ops=[OpDecl("recv", 0, SMI_INT)])
-        return prog.run(max_cycles=5_000)
-
-    ref = build(NOCTUA)
-    fast = build(NOCTUA.with_(backend="sharded", shards=2))
+    ref = _run_truncated(NOCTUA)
+    fast = _run_truncated(NOCTUA.with_(backend="sharded", shards=2))
     # Truncated runs pin cycles and reason. Per-FIFO counters are NOT an
     # invariant at an arbitrary cap (they tally committed events, and
     # the planes commit different distances past it — sequential burst
     # vs per-flit already differ there); see docs/ARCHITECTURE.md.
     assert ref.reason == fast.reason == "max_cycles"
     assert ref.cycles == fast.cycles == 5_000
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_process_backend_max_cycles(transport):
+    ref = _run_truncated(NOCTUA)
+    fast = _run_truncated(
+        NOCTUA.with_(backend="process", shards=2,
+                     shard_transport=transport))
+    assert ref.reason == fast.reason == "max_cycles"
+    assert ref.cycles == fast.cycles == 5_000
+    _assert_no_live_workers()
 
 
 def test_sharded_planner_stats_populated():

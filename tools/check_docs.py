@@ -39,6 +39,7 @@ REQUIRED_ARCHITECTURE_HEADINGS = (
     "Pattern replication",
     "Cruise mode & induction",
     "Sharded execution & time sync",
+    "Boundary wire format & shared-memory rings",
     "Invariants the test suite pins",
 )
 
