@@ -17,6 +17,12 @@ script:
   NOCTUA depths and the deep-buffer NOCTUA_DEEP regime, where the
   per-event information quantum spans multiple pattern rounds (trains
   exceed one round and cruise-mode induction engages);
+* a macro-cruise sweep on the deep-buffer preset: the same p2p stream
+  run under ordinary cruise (the per-round analytic plane) and under
+  ``macro_cruise`` (the whole-program analytical fast-forward that bulk
+  applies proven rounds without dispatching events), with cycle-exactness
+  enforced, the wall-clock speedup recorded, and the fraction of
+  simulated cycles covered by fast-forward windows attached per point;
 * a sharded-backend sweep over two workloads — the legacy 8-rank
   deep-buffer multi-stream fabric (each rank sends fully, then
   receives: its staggered drain serialises the shards) and a 16-rank
@@ -30,9 +36,12 @@ script:
   to every point;
 * headline: per-hop-count speedups at the largest stream size, their
   replication/cruise rates for both buffer regimes, the deep-vs-shallow
-  4-hop ratio, the collective planner hit rates, and the
+  4-hop ratio, the collective planner hit rates, the
   sharded-vs-sequential ratios per shard count (from the uniform-load
-  halo workload).
+  halo workload), the macro-cruise speedups and fast-forward coverage
+  at the largest macro stream, and the analytical perfmodel's relative
+  residual against the simulated cycle counts for the p2p/bcast/reduce
+  kernels.
 
 Every field is documented in ``benchmarks/README.md``.
 
@@ -69,6 +78,7 @@ from repro.harness.runners import (
     measure_stream_sim,
 )
 from repro.network.topology import noctua_bus
+from repro.perfmodel import bcast_cycles, p2p_stream, reduce_cycles
 
 #: Element counts for the bandwidth stream (Fig. 9 x-axis, in elements).
 STREAM_SIZES = (1 << 10, 1 << 13, 1 << 15, 1 << 17)
@@ -88,6 +98,16 @@ COLL_RANKS = 4
 #: the shallow preset (their support kernels bound batching, not buffer
 #: depth) to keep the CI run short.
 BUFFER_PRESETS = (("noctua", NOCTUA), ("deep", NOCTUA_DEEP))
+
+#: Element counts for the macro-cruise sweep. Run on the deep-buffer
+#: preset only: macro-cruise is the analytical escalation of cruise-mode
+#: induction, and cruise engages when the per-event information quantum
+#: spans multiple pattern rounds — the deep regime. Sizes sit at and
+#: above the cycle-sim/model threshold so the fast-forward covers a
+#: long steady state.
+MACRO_STREAM_SIZES = (1 << 16, 1 << 17)
+QUICK_MACRO_STREAM_SIZES = (1 << 16,)
+MACRO_STREAM_HOPS = (1, 4)
 
 #: Per-stream element counts for the sharded-backend sweep (an 8-rank
 #: deep-buffer fabric with one neighbour stream per rank pair).
@@ -167,6 +187,48 @@ def run_collective_points(sizes, repeats):
                 if mode:
                     point["planner"] = stats
             points.append(_finish_point(point))
+    return points
+
+
+def run_macro_points(sizes, repeats, hops_list=MACRO_STREAM_HOPS):
+    """Macro-cruise vs ordinary cruise on the deep-buffer p2p stream.
+
+    Both arms run the full cruise gate chain (burst mode, pattern
+    replication, cruise induction); the macro arm additionally enables
+    ``macro_cruise``, the whole-program analytical fast-forward. The
+    fast plane must stay cycle-exact; ``ff_coverage`` records the
+    fraction of simulated time it bulk-applied without dispatch.
+    """
+    points = []
+    cruise_cfg = NOCTUA_DEEP
+    macro_cfg = NOCTUA_DEEP.with_(macro_cruise=True)
+    for hops in hops_list:
+        for n in sizes:
+            point = {"kind": "macro_stream", "elements": int(n),
+                     "bytes": int(n) * SMI_FLOAT.size, "hops": hops,
+                     "buffers": "deep", "backend": "sequential",
+                     "shards": 1}
+            cycles_cruise, wall_cruise = _best_of(
+                lambda: measure_stream_sim(n, hops, SMI_FLOAT, cruise_cfg),
+                repeats,
+            )
+            stats: dict = {}
+            cycles_macro, wall_macro = _best_of(
+                lambda: measure_stream_sim(n, hops, SMI_FLOAT, macro_cfg,
+                                           planner_stats=stats),
+                repeats,
+            )
+            point["cycles_cruise"] = int(cycles_cruise)
+            point["cycles_macro"] = int(cycles_macro)
+            point["cycle_exact"] = cycles_cruise == cycles_macro
+            point["wall_s_cruise"] = round(wall_cruise, 4)
+            point["wall_s_macro"] = round(wall_macro, 4)
+            point["speedup"] = round(
+                wall_cruise / max(wall_macro, 1e-9), 2)
+            point["planner"] = stats
+            point["ff_coverage"] = round(
+                stats["ff_cycles"] / max(int(cycles_macro), 1), 4)
+            points.append(point)
     return points
 
 
@@ -380,7 +442,49 @@ def build_headline(points):
         uniform = [p for p in shard if p["workload"] == "uniform_stream"]
         for p in uniform or shard:
             headline[f"shard_vs_seq_{p['shards']}shards"] = p["speedup"]
+    macro = [p for p in points if p["kind"] == "macro_stream"]
+    if macro:
+        largest_m = max(p["elements"] for p in macro)
+        for p in macro:
+            if p["elements"] != largest_m:
+                continue
+            headline[f"macro_speedup_{p['hops']}hop"] = p["speedup"]
+            headline[f"macro_ff_coverage_{p['hops']}hop"] = p["ff_coverage"]
+    headline.update(_perfmodel_residuals(points))
     return headline
+
+
+def _perfmodel_residuals(points):
+    """Analytical-model vs simulated cycles at the largest sim points.
+
+    ``(model - sim) / sim`` for the kernels the perfmodel extends beyond
+    ``SIM_ELEMENT_LIMIT``: the shallow-preset p2p stream and the
+    bcast/reduce collectives. Tracked so formula drift between the model
+    (``src/repro/perfmodel/``) and the simulator shows up in the perf
+    trajectory; ``tests/test_perfmodel_checked.py`` bounds it.
+    """
+    out = {}
+    hops = noctua_bus().hop_matrix()
+    chain_hops = (sum(hops[r][r + 1] for r in range(COLL_RANKS - 1))
+                  / (COLL_RANKS - 1))
+    bw = [p for p in points
+          if p["kind"] == "bandwidth" and p["buffers"] == "noctua"]
+    if bw:
+        p = max(bw, key=lambda q: (q["elements"], q["hops"]))
+        model = p2p_stream(p["elements"], SMI_FLOAT, p["hops"], NOCTUA,
+                           app_width=8).cycles
+        out["perfmodel_residual_p2p"] = round(
+            (model - p["cycles_burst"]) / p["cycles_burst"], 4)
+    for kind, model_fn in (("bcast", bcast_cycles),
+                           ("reduce", reduce_cycles)):
+        coll = [p for p in points if p["kind"] == kind]
+        if coll:
+            p = max(coll, key=lambda q: q["elements"])
+            model = model_fn(p["elements"], SMI_FLOAT, COLL_RANKS,
+                             chain_hops, NOCTUA)
+            out[f"perfmodel_residual_{kind}"] = round(
+                (model - p["cycles_burst"]) / p["cycles_burst"], 4)
+    return out
 
 
 def main(argv=None) -> int:
@@ -406,6 +510,8 @@ def main(argv=None) -> int:
     repeats = 2 if args.quick else 3
     stream_sizes = QUICK_STREAM_SIZES if args.quick else STREAM_SIZES
     coll_sizes = QUICK_COLL_SIZES if args.quick else COLL_SIZES
+    macro_sizes = (QUICK_MACRO_STREAM_SIZES if args.quick
+                   else MACRO_STREAM_SIZES)
     shard_n = (QUICK_SHARD_STREAM_ELEMENTS if args.quick
                else SHARD_STREAM_ELEMENTS)
     shard_counts = tuple(int(s) for s in args.shards.split(",") if s)
@@ -421,6 +527,7 @@ def main(argv=None) -> int:
 
     points = run_stream_points(stream_sizes, repeats)
     points += run_collective_points(coll_sizes, repeats)
+    points += run_macro_points(macro_sizes, repeats)
     if shard_counts:
         points += run_shard_points(shard_n, repeats, backend=backend,
                                    shard_counts=shard_counts)
@@ -448,6 +555,18 @@ def main(argv=None) -> int:
             if p["timing"]:
                 print(shard_timing_summary(p["timing"]))
             continue
+        if p["kind"] == "macro_stream":
+            planner = p["planner"]
+            print(f"{p['kind']:9s} hops={p['hops']} deep   "
+                  f"n={p['elements']:7d}  "
+                  f"cycles={p['cycles_macro']:9d} exact={p['cycle_exact']}  "
+                  f"cruise={p['wall_s_cruise']:.3f}s "
+                  f"macro={p['wall_s_macro']:.3f}s "
+                  f"speedup={p['speedup']:.2f}x  "
+                  f"ffwin={planner['ff_windows']} "
+                  f"ffrounds={planner['ff_bulk_rounds']} "
+                  f"ffcov={p['ff_coverage']:.2f}")
+            continue
         tag = (f"hops={p['hops']} {p['buffers'][:4]}"
                if p["kind"] == "bandwidth" else f"ranks={p['ranks']}")
         planner = p["planner"]
@@ -472,6 +591,11 @@ def main(argv=None) -> int:
                       f"{p['shards']}) diverged from the sequential "
                       f"reference ({p['cycles_shard']} vs "
                       f"{p['cycles_seq']} cycles)", file=sys.stderr)
+            elif p["kind"] == "macro_stream":
+                print(f"ERROR: macro-cruise diverged from the cruise "
+                      f"reference (n={p['elements']} hops={p['hops']}: "
+                      f"{p['cycles_macro']} vs {p['cycles_cruise']} "
+                      "cycles)", file=sys.stderr)
             else:
                 print(f"ERROR: burst mode diverged from the per-flit "
                       f"reference ({p['kind']} n={p['elements']}: "
@@ -498,8 +622,11 @@ def main(argv=None) -> int:
                 return args.fail_below_parity
             return min(args.fail_below_parity, 0.7)
 
+        # Macro points are record-only like shard points: their speedup
+        # is cruise-vs-macro (tracked via the macro_speedup_* headline),
+        # not the burst-vs-flit parity this gate judges.
         gated = [p for p in points
-                 if p["kind"] != "shard_stream"
+                 if p["kind"] not in ("shard_stream", "macro_stream")
                  and p["wall_s_flit"] >= 0.025]
         slow = [p for p in gated if p["speedup"] < threshold(p)]
         if slow:

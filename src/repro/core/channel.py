@@ -28,6 +28,317 @@ from .datatypes import SMIDatatype
 from .errors import ChannelError, MessageOverrunError, TypeMismatchError
 
 
+class _SendLane:
+    """Macro-cruise plane of a sleeping :meth:`SendChannel.push_vec` burst.
+
+    While the sender process sleeps off a committed run, its remaining
+    plan is a pure function of the endpoint's slot schedule: the chunk
+    pacing, the packer layout and the stall rule are all deterministic.
+    The lane exposes exactly that function to the supply planner: a
+    replication train starving on this endpoint queues the slot releases
+    its own validated takes produced (:meth:`note_release`) and asks the
+    lane to continue the channel's plan against them (:meth:`extend`) —
+    same arithmetic, same cycles, no engine event. Planned packets stay
+    on the lane until the train's bulk commit (:meth:`commit`), which
+    also pairs the claimed releases so the sleeping generator's next
+    ``slot_plan`` never sees a slot handed out twice.
+
+    ``cur is None`` marks the plan frontier as unknown (the generator is
+    mid element-wise fallback, or has not planned yet): the lane refuses
+    to extend there, which is the macro plane's per-resource fallback
+    rule — any unproven resource ends the fast-forward.
+    """
+
+    __slots__ = ("chan", "values", "width", "i", "cur", "rels", "rel_ptr",
+                 "free", "rel_base", "claimed", "pend_pkts", "pend_cycles",
+                 "active", "proc", "rels0")
+    is_send = True
+
+    def __init__(self, chan: "SendChannel", values, width: int) -> None:
+        self.chan = chan
+        self.values = values
+        self.width = width
+        # The kernel process running this burst (for the firm wake at
+        # the train's extended frontier).
+        self.proc = chan.endpoint.engine._current_proc
+        self.i = 0          # elements planned so far (shared with generator)
+        self.cur = None     # pacing frontier; None = not extendable
+        self.rels: list[int] = []   # claimable release cycles, FIFO order
+        self.rel_ptr = 0
+        self.rels0 = 0
+        self.free = 0
+        self.rel_base = 0
+        self.claimed = 0    # releases consumed by lane stages this train
+        self.pend_pkts: list = []
+        self.pend_cycles: list = []
+        self.active = False  # True between begin() and commit()
+
+    def extendable(self) -> bool:
+        return self.cur is not None and self.i < len(self.values)
+
+    def begin(self, now: int) -> None:
+        """Open the train-scoped slot ledger (idempotent per train)."""
+        if self.active:
+            return
+        ep = self.chan.endpoint
+        # Slots freed since the generator's last plan: currently-free
+        # slots plus the pending unpaired releases, in _reserved order —
+        # train-published releases are appended behind them, exactly the
+        # order the endpoint's reserved queue will hold at commit time.
+        self.free, rels = ep.slot_plan(now)
+        self.rels = list(rels)
+        self.rel_ptr = 0
+        # Committed (frozen-value) release prefix: entries below this
+        # index came from the endpoint's own slot plan, not from the
+        # train's Δ-shifting published takes. The analytic fast-forward
+        # refuses to extrapolate while the plan still consumes them.
+        self.rels0 = len(self.rels)
+        self.rel_base = ep._reserved_paired
+        self.claimed = 0
+        self.active = True
+
+    def note_release(self, cycle: int) -> None:
+        self.rels.append(cycle)
+
+    def extend(self):
+        """Continue the channel's plan; returns new ``(pkt, stage)`` pairs.
+
+        Identical to the generator's planning loop with the slot budget
+        taken from the train ledger instead of ``slot_plan``: chunks of
+        ``width`` elements advance the pacing cursor one cycle each, a
+        claimed release stalls the chunk to ``release + 1``, and the plan
+        stops before the first chunk whose slots are unknown.
+        """
+        chan = self.chan
+        values = self.values
+        n = len(values)
+        i = self.i
+        cur = self.cur
+        planned, stage_cycles, cur, flush_tail, used = _plan_push_chunks(
+            chan._packer.pending, chan._sent, chan.count, values, i,
+            self.width, chan.dtype.elements_per_packet, cur,
+            self.free, self.rels, self.rel_ptr)
+        if planned == 0:
+            return ()
+        self.free = max(0, self.free - used[0])
+        self.rel_ptr += used[1]
+        self.claimed += used[1]
+        packets = chan._packer.pack_run(values[i:i + planned],
+                                        flush_tail=flush_tail)
+        if len(packets) != len(stage_cycles):  # pragma: no cover
+            raise ChannelError(
+                f"macro lane expected {len(stage_cycles)} packets, "
+                f"packer produced {len(packets)}")
+        chan._sent += planned
+        self.i = i + planned
+        self.cur = cur
+        self.pend_pkts.extend(packets)
+        self.pend_cycles.extend(stage_cycles)
+        return tuple(zip(packets, stage_cycles))
+
+    def commit(self) -> None:
+        """Bulk-commit the train's lane stages (stage phase of the train
+        commit — before any session takes them).
+
+        Occupancy verification is deferred exactly as for the planner's
+        own cursor stages: the takes whose releases these stages claim
+        commit later in the same train, so the trajectory check would
+        see a transiently over-full schedule. The ledger arithmetic
+        (free budget + claimed releases, slot-for-slot) is the proof.
+        """
+        if self.pend_pkts:
+            self.chan.endpoint.stage_burst(self.pend_pkts, self.pend_cycles,
+                                           verify_occupancy=False)
+            self.pend_pkts = []
+            self.pend_cycles = []
+
+    def finish(self) -> None:
+        """Close the train ledger: persist release pairings (take phase
+        ran, so the claimed releases are on the reserved queue now)."""
+        if self.claimed:
+            self.chan.endpoint._reserved_paired = self.rel_base + self.claimed
+        self.active = False
+
+    @property
+    def proc_end(self):
+        return self.cur
+
+
+def _plan_push_chunks(pending, sent, count, values, i, width, epp, cur,
+                      free, rels, rel_ptr):
+    """Plan stage cycles for whole width-chunks of ``values[i:]``.
+
+    The one chunk-pacing/stall rule both the sender generator and its
+    macro lane use: each chunk's packets each claim a slot (free slots
+    stage at the pacing cursor; a release stalls the cursor — and every
+    later chunk — to ``release + 1``), then the cursor advances one cycle
+    for the chunk's closing TICK. Stops before the first chunk whose
+    slots are not all known. Returns ``(planned_elements, stage_cycles,
+    cur_end, flush_tail, (free_used, rels_used))``.
+    """
+    n = len(values)
+    n_rels = len(rels)
+    stage_cycles: list[int] = []
+    planned = 0
+    flush_tail = False
+    free_used = 0
+    rels_used = 0
+    while i + planned < n:
+        w_j = min(width, n - i - planned)
+        comps = (pending + w_j) // epp
+        rem = (pending + w_j) % epp
+        extra = 0
+        if rem and sent + planned + w_j == count:
+            extra = 1  # the message ends mid-packet: final flush
+        chunk_stages = []
+        c_free = 0
+        c_rels = 0
+        for _ in range(comps + extra):
+            if free > 0:
+                free -= 1
+                c_free += 1
+            elif rel_ptr + c_rels < n_rels:
+                cur = max(cur, rels[rel_ptr + c_rels] + 1)
+                c_rels += 1
+            else:
+                chunk_stages = None
+                break
+            chunk_stages.append(cur)
+        if chunk_stages is None:
+            break  # unknown stall: stop the plan before this chunk
+        stage_cycles.extend(chunk_stages)
+        free_used += c_free
+        rel_ptr += c_rels
+        rels_used += c_rels
+        planned += w_j
+        pending = 0 if extra else rem
+        if extra:
+            flush_tail = True
+        cur += 1  # the chunk's closing TICK
+    return planned, stage_cycles, cur, flush_tail, (free_used, rels_used)
+
+
+class _RecvLane:
+    """Macro-cruise plane of a sleeping :meth:`RecvChannel.pop_vec` burst.
+
+    The mirror of :class:`_SendLane`: a replication train blocked on the
+    receive endpoint's backpressure publishes its validated stages into
+    the lane (:meth:`note_item`) and asks it to continue the channel's
+    take plan (:meth:`extend`) — consuming items at exactly the cycles
+    the per-flit pop loop would (width pacing carried across waits, a
+    take never before the item's visibility), copying payloads straight
+    into the caller's output array, and returning the take cycles whose
+    releases free the train's slots. Takes commit at train end, after
+    the session stages that produced the items.
+    """
+
+    __slots__ = ("chan", "n", "width", "out", "got", "ic", "cur", "items",
+                 "ip", "take_cycles", "pend_takes", "active", "armed",
+                 "proc")
+    is_send = False
+
+    def __init__(self, chan: "RecvChannel", n: int, width: int, out) -> None:
+        self.chan = chan
+        self.n = n
+        self.width = width
+        self.out = out
+        self.proc = chan.endpoint.engine._current_proc
+        self.got = 0        # elements consumed (shared with generator)
+        self.ic = 0         # width-pacing carry (shared with generator)
+        self.cur = None     # pacing frontier; None until the first plan
+        self.items: list = []   # (pkt, ready) claimable, FIFO order
+        self.ip = 0
+        self.take_cycles: list[int] = []
+        self.pend_takes = 0
+        self.active = False
+        # armed marks the generator's quiescent yields (sleeping off a
+        # committed plan or blocked on an empty endpoint) — the only
+        # states whose pacing frontier a train may extend.
+        self.armed = False
+
+    def extendable(self) -> bool:
+        return (self.armed and self.got < self.n
+                and self.chan._current is None)
+
+    def begin(self, now: int) -> None:
+        """Open the train-scoped supply ledger (idempotent per train)."""
+        if self.active:
+            return
+        # Committed items the generator has not consumed yet precede any
+        # train-published stage in FIFO order.
+        self.items = list(self.chan.endpoint.iter_present())
+        self.ip = 0
+        self.take_cycles = []
+        self.pend_takes = 0
+        self.active = True
+
+    def note_item(self, pkt, ready: int) -> None:
+        self.items.append((pkt, ready))
+
+    def extend(self):
+        """Continue the channel's take plan; returns new take cycles."""
+        chan = self.chan
+        n = self.n
+        width = self.width
+        out = self.out
+        got = self.got
+        ic = self.ic
+        cur = self.cur if self.cur is not None else 0
+        items = self.items
+        ip = self.ip
+        takes: list[int] = []
+        while ip < len(items) and got < n:
+            pkt, ready = items[ip]
+            use = min(pkt.count, n - got)
+            if use < pkt.count and got + use < n:  # pragma: no cover
+                break  # mid-stream partial take: leave it to the generator
+            try:
+                chan._check_packet(pkt)
+            except ChannelError:
+                break  # fallback: the generator raises at the exact cycle
+            cur = max(cur, ready)
+            takes.append(cur)
+            out[got:got + use] = pkt.payload[:use]
+            got += use
+            left = use
+            while left > 0:
+                step = min(left, width - ic)
+                ic += step
+                left -= step
+                if ic >= width:
+                    cur += 1
+                    ic = 0
+            if use < pkt.count:
+                chan._current = pkt
+                chan._offset = use
+            ip += 1
+        if not takes:
+            return ()
+        chan._received = chan._received + (got - self.got)
+        self.got = got
+        self.ic = ic
+        self.cur = cur
+        self.ip = ip
+        self.take_cycles.extend(takes)
+        self.pend_takes += len(takes)
+        return tuple(takes)
+
+    def commit(self) -> None:
+        """Bulk-commit the train's lane takes (take phase of the train
+        commit — the sessions' stages are physically present by now)."""
+        if self.take_cycles:
+            self.chan.endpoint.take_burst(self.take_cycles, collect=False)
+            self.take_cycles = []
+            self.pend_takes = 0
+
+    def finish(self) -> None:
+        self.active = False
+
+    @property
+    def proc_end(self):
+        return self.cur
+
+
 class SendChannel:
     """Descriptor of an open send channel (``SMI_Open_send_channel``).
 
@@ -136,76 +447,75 @@ class SendChannel:
         engine = ep.engine
         epp = self.dtype.elements_per_packet
         n = len(values)
-        i = 0
-        while i < n:
-            free, rels = ep.slot_plan(engine.cycle)
-            releases = iter(rels)
-            start = engine.cycle
-            cur = start
-            stage_cycles: list[int] = []
-            planned = 0  # elements planned
-            pending = self._packer.pending
-            chunks = 0
-            flush_tail = False
-            while i + planned < n:
-                w_j = min(width, n - i - planned)
-                comps = (pending + w_j) // epp
-                rem = (pending + w_j) % epp
-                extra = 0
-                if rem and self._sent + planned + w_j == self.count:
-                    extra = 1  # the message ends mid-packet: final flush
-                # One slot per packet: a free slot stages at the chunk's own
-                # cycle; a reserved slot stalls the chunk (and every later
-                # one) until the cycle after it releases, exactly like the
-                # per-element path blocking inside _stage_packet.
-                chunk_stages = []
-                for _ in range(comps + extra):
-                    if free > 0:
-                        free -= 1
-                    else:
-                        rel = next(releases, None)
-                        if rel is None:
-                            chunk_stages = None
-                            break
-                        cur = max(cur, rel + 1)
-                    chunk_stages.append(cur)
-                if chunk_stages is None:
-                    break  # unknown stall: stop the plan before this chunk
-                stage_cycles.extend(chunk_stages)
-                planned += w_j
-                pending = 0 if extra else rem
-                if extra:
-                    flush_tail = True
-                chunks += 1
-                cur += 1  # the chunk's closing TICK
-            if chunks == 0:
-                # The very next chunk's packets exceed free space: run it
-                # element by element so the stall lands mid-chunk exactly
-                # as in the per-flit path.
-                w_j = min(width, n - i)
-                for v in values[i : i + w_j]:
-                    pkt = self._packer.add(v)
-                    self._sent += 1
-                    if pkt is None and self._sent == self.count:
-                        pkt = self._packer.flush()
-                    if pkt is not None:
-                        yield from self._stage_packet(pkt)
-                i += w_j
-                yield TICK
-                continue
-            packets = self._packer.pack_run(
-                values[i : i + planned], flush_tail=flush_tail
-            )
-            if len(packets) != len(stage_cycles):  # pragma: no cover
-                raise ChannelError(
-                    f"burst planner expected {len(stage_cycles)} packets, "
-                    f"packer produced {len(packets)}"
+        host = getattr(ep, "macro_host", None)
+        lane = None
+        if host is not None:
+            lane = _SendLane(self, values, width)
+            host.register_lane(ep, lane)
+        try:
+            i = 0
+            while True:
+                if lane is not None:
+                    # A macro train may have continued this plan while we
+                    # slept: adopt its frontier and sleep the remainder.
+                    i = lane.i
+                    lc = lane.cur
+                    if lc is not None and lc > engine.cycle:
+                        yield WaitCycles(lc - engine.cycle)
+                        continue
+                if i >= n:
+                    break
+                free, rels = ep.slot_plan(engine.cycle)
+                rels = list(rels)
+                rel_base = ep._reserved_paired
+                start = engine.cycle
+                planned, stage_cycles, cur, flush_tail, used = (
+                    _plan_push_chunks(self._packer.pending, self._sent,
+                                      self.count, values, i, width, epp,
+                                      start, free, rels, 0)
                 )
-            if packets:
-                ep.stage_burst(packets, stage_cycles)
-            self._sent += planned
-            i += planned
-            yield WaitCycles(cur - start)
+                if planned == 0:
+                    # The very next chunk's packets exceed free space: run it
+                    # element by element so the stall lands mid-chunk exactly
+                    # as in the per-flit path.
+                    if lane is not None:
+                        lane.cur = None  # mid-chunk: frontier unknown
+                    w_j = min(width, n - i)
+                    for v in values[i : i + w_j]:
+                        pkt = self._packer.add(v)
+                        self._sent += 1
+                        if pkt is None and self._sent == self.count:
+                            pkt = self._packer.flush()
+                        if pkt is not None:
+                            yield from self._stage_packet(pkt)
+                    i += w_j
+                    if lane is not None:
+                        lane.i = i
+                    yield TICK
+                    continue
+                packets = self._packer.pack_run(
+                    values[i : i + planned], flush_tail=flush_tail
+                )
+                if len(packets) != len(stage_cycles):  # pragma: no cover
+                    raise ChannelError(
+                        f"burst planner expected {len(stage_cycles)} "
+                        f"packets, packer produced {len(packets)}"
+                    )
+                if packets:
+                    ep.stage_burst(packets, stage_cycles)
+                self._sent += planned
+                i += planned
+                if lane is not None:
+                    # Pair the releases this plan claimed so a mid-sleep
+                    # macro train never hands the same slot out twice.
+                    if used[1]:
+                        ep._reserved_paired = rel_base + used[1]
+                    lane.i = i
+                    lane.cur = cur
+                yield WaitCycles(cur - start)
+        finally:
+            if lane is not None:
+                host.unregister_lane(ep, lane)
 
 
 class RecvChannel:
@@ -333,9 +643,34 @@ class RecvChannel:
         """
         ep = self.endpoint
         engine = ep.engine
+        host = getattr(ep, "macro_host", None)
+        lane = None
+        if host is not None:
+            lane = _RecvLane(self, n, width, out)
+            host.register_lane(ep, lane)
+        try:
+            yield from self._pop_vec_burst_loop(n, width, out, lane)
+        finally:
+            if lane is not None:
+                host.unregister_lane(ep, lane)
+
+    def _pop_vec_burst_loop(
+        self, n: int, width: int, out: np.ndarray, lane
+    ) -> Generator:
+        ep = self.endpoint
+        engine = ep.engine
         got = 0
         in_cycle = 0
         while got < n:
+            if lane is not None:
+                # A macro train may have consumed ahead while we slept or
+                # waited: adopt its progress and pacing carry.
+                got = lane.got
+                in_cycle = lane.ic
+                if got >= n:
+                    break
+            if lane is not None:
+                lane.armed = False
             if self._current is not None:
                 # Leftover partial packet from a previous pop: consume it
                 # with the literal per-cycle steps (at most a few).
@@ -350,15 +685,27 @@ class RecvChannel:
                 in_cycle += take
                 if self._offset >= pkt.count:
                     self._current = None
+                if lane is not None:
+                    lane.got = got
+                    lane.ic = in_cycle
                 if in_cycle >= width:
+                    if lane is not None:
+                        lane.ic = 0
                     yield TICK
                     in_cycle = 0
                 continue
             if ep.present_count == 0:
+                if lane is not None:
+                    lane.got = got
+                    lane.ic = in_cycle
+                    lane.armed = True
                 yield ep.can_pop
                 continue
             # ---- plan over every packet currently in the FIFO ----------
             cur = engine.cycle
+            if lane is not None and lane.cur is not None and lane.cur > cur:
+                # Resume the pacing frontier a macro train advanced for us.
+                cur = lane.cur
             takes: list[int] = []
             plan: list[tuple] = []  # (packet, elements used)
             consumed = 0
@@ -404,7 +751,17 @@ class RecvChannel:
             if last_use < last_pkt.count:
                 self._current = last_pkt
                 self._offset = last_use
+            if lane is not None:
+                lane.got = got
+                lane.ic = in_cycle
+                lane.cur = cur
+                lane.armed = True
             if cur > engine.cycle:
                 yield WaitCycles(cur - engine.cycle)
+        if lane is not None and lane.cur is not None \
+                and lane.cur > engine.cycle:
+            # A macro train finished the message ahead of our wake: the
+            # kernel is busy (in the per-flit sense) until the lane's end.
+            yield WaitCycles(lane.cur - engine.cycle)
         if in_cycle:
             yield TICK

@@ -107,6 +107,25 @@ class HardwareConfig:
         deep-buffer configurations where trains span many rounds. Only
         meaningful with ``pattern_replication`` on. Turn off to A/B the
         induction in isolation.
+    macro_cruise:
+        Enable whole-program analytical fast-forward (macro-cruise) on
+        top of cruise induction: the supply planner registers every
+        plane of the program (CK processes, support kernels, the app
+        channels' burst endpoints) and, whenever a replication train
+        stalls on an application endpoint whose channel is asleep
+        inside a proven deterministic burst plan, extends that plan
+        arithmetically in the same engine event — staging/taking with
+        the exact per-flit cycles — instead of waiting for the
+        channel's next wake. Trains then run to the next true
+        externality (supply horizon, routing-key drift, pattern
+        Δ-exhaustion, train caps) and the engine clock crosses the
+        whole span in one event per plane. Cycle-exact like every
+        plane beneath it (the 6-way fuzz suite pins flit / burst /
+        replicated / cruise / sharded / macro equality); every
+        fast-forward window also asserts its closed-form span against
+        the pattern arithmetic and is reported for the perfmodel
+        residual check. Only meaningful with ``cruise_induction`` on.
+        Default off; the deep-buffer benchmarks switch it on.
     record_accepts:
         Opt-in arbiter instrumentation: when True every CKS/CKR polling
         arbiter keeps a bounded histogram of inter-accept gaps (see
@@ -182,6 +201,7 @@ class HardwareConfig:
     burst_mode: bool = True
     pattern_replication: bool = True
     cruise_induction: bool = True
+    macro_cruise: bool = False
     record_accepts: bool = False
     backend: str = "sequential"
     shards: int = 1

@@ -16,10 +16,13 @@ simulation backend (``sequential`` / ``sharded`` / ``process``, see
 experiment runs under any buffer regime and execution backend without
 code edits; ``--shard-transport`` additionally picks the process
 backend's boundary transport (shared-memory rings vs the coordinator
-pipe). The flags reach the measurement runners through the
+pipe), and ``--macro-cruise`` turns on the whole-program analytical
+fast-forward (see docs/ARCHITECTURE.md, "Macro-cruise fast-forward")
+on top of the chosen preset. The flags reach the measurement runners
+through the
 ``REPRO_PRESET`` / ``REPRO_BACKEND`` / ``REPRO_SHARDS`` /
-``REPRO_SHARD_TRANSPORT`` environment variables
-(:func:`repro.harness.runners.default_config`).
+``REPRO_SHARD_TRANSPORT`` / ``REPRO_MACRO_CRUISE`` environment
+variables (:func:`repro.harness.runners.default_config`).
 """
 
 from __future__ import annotations
@@ -146,6 +149,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="process-backend boundary transport: "
                              "shared-memory rings or the coordinator pipe "
                              "(default: auto; requires --backend process)")
+    parser.add_argument("--macro-cruise", action="store_true",
+                        help="enable the whole-program analytical "
+                             "fast-forward for the simulated points "
+                             "(implies the full cruise gate chain)")
     args = parser.parse_args(argv)
     if args.shards is not None and args.backend not in ("sharded",
                                                         "process"):
@@ -161,6 +168,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_SHARDS"] = str(args.shards or 2)
     if args.shard_transport:
         os.environ["REPRO_SHARD_TRANSPORT"] = args.shard_transport
+    if args.macro_cruise:
+        os.environ["REPRO_MACRO_CRUISE"] = "1"
     # The benchmark modules live in benchmarks/, importable from the repo
     # root; fall back gracefully when invoked from elsewhere.
     here = os.path.dirname(os.path.dirname(os.path.dirname(

@@ -48,8 +48,11 @@ def default_config() -> HardwareConfig:
     entry (default ``noctua``); ``REPRO_BACKEND`` and ``REPRO_SHARDS``
     select the execution backend on top (default sequential), and
     ``REPRO_SHARD_TRANSPORT`` the process backend's boundary transport
-    (``auto``/``shm``/``pipe``). The ``smi-bench`` CLI sets these from
-    ``--preset``/``--backend``/``--shard-transport``.
+    (``auto``/``shm``/``pipe``). ``REPRO_MACRO_CRUISE=1`` enables the
+    macro-cruise whole-program fast-forward on top of whichever preset
+    was chosen (``0`` forces it off). The ``smi-bench`` CLI sets these
+    from ``--preset``/``--backend``/``--shard-transport``/
+    ``--macro-cruise``.
     """
     config = hardware_preset(os.environ.get("REPRO_PRESET", "noctua"))
     backend = os.environ.get("REPRO_BACKEND")
@@ -60,6 +63,9 @@ def default_config() -> HardwareConfig:
     transport = os.environ.get("REPRO_SHARD_TRANSPORT")
     if transport:
         config = config.with_(shard_transport=transport)
+    macro = os.environ.get("REPRO_MACRO_CRUISE")
+    if macro is not None and macro != "":
+        config = config.with_(macro_cruise=macro not in ("0", "false", "no"))
     return config
 
 
@@ -97,6 +103,12 @@ def _snapshot_planner_stats(transport, out: dict | None) -> None:
         cruise_commits=stats.cruise_commits,
         cruise_rounds=stats.cruise_rounds,
         cruise_hit_rate=round(stats.cruise_hit_rate, 4),
+        ff_windows=stats.ff_windows,
+        ff_cycles=stats.ff_cycles,
+        ff_takes=stats.ff_takes,
+        lane_extends=stats.lane_extends,
+        ff_bulk_rounds=stats.ff_bulk_rounds,
+        mean_ff_span=round(stats.mean_ff_span, 2),
     )
 
 
@@ -289,9 +301,15 @@ def measure_reduce_sim_us(
     return config.cycles_to_us(max(ends))
 
 
-def _avg_hops_from_root(topology: Topology, num_ranks: int) -> float:
-    hops = topology.hop_matrix()[0]
-    return float(np.mean([hops[d] for d in range(1, num_ranks)]))
+def _chain_hops(topology: Topology, num_ranks: int) -> float:
+    """Mean hop distance between consecutive chain ranks.
+
+    The linear collectives relay along rank order, so the distance that
+    sets their rendezvous/fill/stall terms is between chain neighbours,
+    not from the root (see :mod:`repro.perfmodel.collectives`).
+    """
+    hops = topology.hop_matrix()
+    return float(np.mean([hops[r][r + 1] for r in range(num_ranks - 1)]))
 
 
 def collective_sweep(
@@ -304,8 +322,7 @@ def collective_sweep(
 ) -> list[SweepPoint]:
     """SMI collective time (us) per message size, sim + model points."""
     config = config or default_config()
-    avg_hops = _avg_hops_from_root(topology, num_ranks)
-    diameter = max(topology.hop_matrix()[0][d] for d in range(num_ranks))
+    chain_hops = _chain_hops(topology, num_ranks)
     points = []
     for n in sizes_elements:
         if n <= sim_limit_elements:
@@ -318,9 +335,11 @@ def collective_sweep(
             points.append(SweepPoint(n, us, "sim"))
         else:
             if kind == "bcast":
-                cyc = bcast_cycles(n, SMI_FLOAT, num_ranks, avg_hops, config)
+                cyc = bcast_cycles(n, SMI_FLOAT, num_ranks, chain_hops,
+                                   config)
             else:
-                cyc = reduce_cycles(n, SMI_FLOAT, num_ranks, diameter, config)
+                cyc = reduce_cycles(n, SMI_FLOAT, num_ranks, chain_hops,
+                                    config)
             points.append(SweepPoint(n, config.cycles_to_us(cyc), "model"))
     return points
 

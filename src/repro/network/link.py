@@ -141,7 +141,15 @@ class Link:
         self.fifo.stage_burst(packets, cycles, verify_occupancy)
         self._next_free = cycles[-1] + self.cycles_per_packet
         self.packets += len(packets)
-        self.payload_bytes += sum(p.payload_bytes for p in packets)
+        # Inlined Packet.payload_bytes (count * dtype.size): a macro-cruise
+        # commit pushes tens of thousands of packets through here and the
+        # property dispatch dominates the accounting.
+        pb = 0
+        for p in packets:
+            dt = p.dtype
+            if dt is not None:
+                pb += p.count * dt.size
+        self.payload_bytes += pb
 
     def take(self) -> Packet:
         return self.fifo.take()

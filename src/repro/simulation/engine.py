@@ -133,6 +133,18 @@ class Engine:
         # whose clock ran ahead of it (see Fifo.counts_at). None (the
         # sequential default) leaves folding unrestricted.
         self.stats_fold_limit: int | None = None
+        # Macro-cruise accounting: cycle spans the planner committed in
+        # closed form (bulk take/stage logs, no per-event dispatch) and
+        # how many fast-forward windows did so. Reporting only — the
+        # clock itself still moves heap-top to heap-top.
+        self.ff_windows = 0
+        self.ff_cycles = 0
+
+    def note_fast_forward(self, span: int) -> None:
+        """Record one analytically fast-forwarded window of ``span`` cycles."""
+        if span > 0:
+            self.ff_windows += 1
+            self.ff_cycles += span
 
     # ------------------------------------------------------------------
     # Construction helpers

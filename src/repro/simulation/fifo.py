@@ -98,8 +98,10 @@ from __future__ import annotations
 from bisect import bisect_right
 from collections import deque
 from itertools import chain, islice
-from operator import gt
+from operator import gt, itemgetter
 from typing import Any, Generator, Iterable, Iterator, Sequence
+
+import numpy as np
 
 from ..core.errors import SimulationError
 from .conditions import TICK, CanPop, CanPush, WaitCycles
@@ -146,6 +148,8 @@ class Fifo:
         "_occ_peak",
         "_occ_folded_stages",
         "_occ_folded_takes",
+        "_occ_folded_through",
+        "macro_host",
         "first_push_cycle",
         "last_pop_cycle",
         "burst_stats",
@@ -196,6 +200,16 @@ class Fifo:
         # the engine's ``stats_fold_limit`` watermark may clamp).
         self._occ_folded_stages = 0
         self._occ_folded_takes = 0
+        # Exclusive cycle bound of the folded log prefix: time-filtered
+        # queries below it would silently include folded (unsplittable)
+        # events, so counts_at/max_occupancy_at refuse them loudly. Bulk
+        # clock jumps (macro-cruise trains, sharded run_until) can move
+        # folds far ahead of any previously observed clock in one event.
+        self._occ_folded_through = 0
+        # Macro-cruise host: the SupplyPlanner app-side channel lanes on
+        # this endpoint register with (set by the transport builder on
+        # app send/recv endpoints when ``HardwareConfig.macro_cruise``).
+        self.macro_host = None
         self.first_push_cycle: int | None = None
         self.last_pop_cycle: int | None = None
         self.burst_stats = BurstStats()
@@ -268,7 +282,22 @@ class Fifo:
         pre-committed future release.)"""
         reserved = self._reserved
         if reserved and reserved[0] < now:
+            if reserved[-1] < now:
+                # Whole-log trim (the common case after a bulk clock
+                # jump: every pre-committed release is in the past).
+                reserved.clear()
+                self._reserved_paired = 0
+                return
             paired = self._reserved_paired
+            if len(reserved) > 2048:
+                # Bulk trim: the log is sorted (releases are pre-committed
+                # in take order), so the cut point is a bisect away.
+                log = list(reserved)
+                cut = bisect_right(log, now - 1)
+                reserved.clear()
+                reserved.extend(log[cut:])
+                self._reserved_paired = max(0, paired - cut)
+                return
             while reserved and reserved[0] < now:
                 reserved.popleft()
                 if paired:
@@ -523,11 +552,19 @@ class Fifo:
             # Fast path: no reserved slots and the whole run fits (or the
             # caller is the planner, which already paced each stage) — the
             # monotonicity check runs at C speed over cycle pairs.
-            if k > 1 and any(map(gt, cycles, islice(cycles, 1, None))):
-                raise SimulationError(
-                    f"fifo {self.name!r}: stage_burst cycles not monotone"
-                )
-            staged.extend(zip([cyc + latency for cyc in cycles], items))
+            if k > 2048:
+                cyc_arr = np.asarray(cycles, dtype=np.int64)
+                if np.any(cyc_arr[1:] < cyc_arr[:-1]):
+                    raise SimulationError(
+                        f"fifo {self.name!r}: stage_burst cycles not monotone"
+                    )
+                staged.extend(zip((cyc_arr + latency).tolist(), items))
+            else:
+                if k > 1 and any(map(gt, cycles, islice(cycles, 1, None))):
+                    raise SimulationError(
+                        f"fifo {self.name!r}: stage_burst cycles not monotone"
+                    )
+                staged.extend(zip([cyc + latency for cyc in cycles], items))
         else:
             res_idx = 0
             paired = self._reserved_paired
@@ -606,6 +643,8 @@ class Fifo:
         if collect:
             for _ in range(nv):
                 out.append(visible.popleft())
+        elif nv == len(visible):
+            visible.clear()
         else:
             for _ in range(nv):
                 visible.popleft()
@@ -615,31 +654,57 @@ class Fifo:
                 raise SimulationError(
                     f"fifo {self.name!r}: take_burst ran out of items"
                 )
-            # Visibility check fused into the pop loop: staged item i must
-            # be ready by its take cycle. (The raise aborts the whole
-            # simulation, so the partial mutation before it is moot.)
-            i = nv
-            if collect:
-                for _ in range(rem):
-                    ready, item = staged.popleft()
-                    if ready > cycles[i]:
-                        raise SimulationError(
-                            f"fifo {self.name!r}: take_burst at cycle "
-                            f"{cycles[i]} but next item is only visible "
-                            f"at {ready}"
-                        )
-                    out.append(item)
-                    i += 1
+            if not collect and rem > 2048:
+                # Bulk path (a macro-cruise fast-forward commits tens of
+                # thousands of takes in one burst): the per-item
+                # visibility tripwire runs vectorised over the staged
+                # ready cycles, then the consumed prefix drops in one
+                # C-level operation.
+                ready_arr = np.fromiter(
+                    map(itemgetter(0), islice(staged, rem)),
+                    dtype=np.int64, count=rem)
+                late = np.nonzero(
+                    ready_arr > np.asarray(cycles[nv:], dtype=np.int64))[0]
+                if late.size:
+                    b = int(late[0])
+                    raise SimulationError(
+                        f"fifo {self.name!r}: take_burst at cycle "
+                        f"{cycles[nv + b]} but next item is only visible "
+                        f"at {staged[b][0]}"
+                    )
+                if rem == len(staged):
+                    staged.clear()
+                else:
+                    tail = list(islice(staged, rem, None))
+                    staged.clear()
+                    staged.extend(tail)
             else:
-                for _ in range(rem):
-                    ready = staged.popleft()[0]
-                    if ready > cycles[i]:
-                        raise SimulationError(
-                            f"fifo {self.name!r}: take_burst at cycle "
-                            f"{cycles[i]} but next item is only visible "
-                            f"at {ready}"
-                        )
-                    i += 1
+                # Visibility check fused into the pop loop: staged item i
+                # must be ready by its take cycle. (The raise aborts the
+                # whole simulation, so the partial mutation before it is
+                # moot.)
+                i = nv
+                if collect:
+                    for _ in range(rem):
+                        ready, item = staged.popleft()
+                        if ready > cycles[i]:
+                            raise SimulationError(
+                                f"fifo {self.name!r}: take_burst at cycle "
+                                f"{cycles[i]} but next item is only visible "
+                                f"at {ready}"
+                            )
+                        out.append(item)
+                        i += 1
+                else:
+                    for _ in range(rem):
+                        ready = staged.popleft()[0]
+                        if ready > cycles[i]:
+                            raise SimulationError(
+                                f"fifo {self.name!r}: take_burst at cycle "
+                                f"{cycles[i]} but next item is only visible "
+                                f"at {ready}"
+                            )
+                        i += 1
         # Slot bookkeeping: every take — current-cycle ones included —
         # holds its slot *reserved* until the cycle after its take cycle
         # (the strict ``_trim_reserved`` boundary). Producers therefore
@@ -689,6 +754,28 @@ class Fifo:
         takes = self._occ_takes
         occ = self._occ_base
         peak = self._occ_peak
+        ns_w = bisect_right(stages, stop - 1)
+        nt_w = bisect_right(takes, stop - 1)
+        if ns_w + nt_w > 4096:
+            # Bulk path for large windows (a macro-cruise fast-forward
+            # commits tens of thousands of per-item cycles in one event):
+            # group both sorted logs by unique cycle, net each cycle's
+            # stages against its takes, and take the running peak — the
+            # same registered-FIFO view as the scalar merge below.
+            # Occupancy only rises at stage cycles, so the end-of-cycle
+            # peak is attained at some stage cycle c with value
+            # ``#stages <= c  -  #takes <= c`` — two C-speed binary-search
+            # sweeps over the already-sorted logs.
+            if ns_w:
+                cs = np.array(stages[:ns_w], dtype=np.int64)
+                ct = np.array(takes[:nt_w], dtype=np.int64)
+                hi = occ + int(np.max(
+                    np.searchsorted(cs, cs, side="right")
+                    - np.searchsorted(ct, cs, side="right")
+                ))
+                if hi > peak:
+                    peak = hi
+            return occ + ns_w - nt_w, peak, ns_w, nt_w
         i = j = 0
         ns = len(stages)
         nt = len(takes)
@@ -736,6 +823,8 @@ class Fifo:
         occ, peak, i, j = self._occ_sweep(now)
         self._occ_base = occ
         self._occ_peak = peak
+        if now > self._occ_folded_through:
+            self._occ_folded_through = now
         if i:
             self._occ_folded_stages += i
             del self._occ_stages[:i]
@@ -1019,7 +1108,29 @@ class Fifo:
         :attr:`max_occupancy` (which sweeps to the single engine's
         clock).
         """
+        self._check_fold_watermark(cycle)
         return self._occ_sweep(cycle + 1)[1]
+
+    def _check_fold_watermark(self, cycle: int) -> None:
+        """Refuse time-filtered queries below the folded log prefix.
+
+        Folds run up to ``min(engine.cycle, stats_fold_limit + 1)``; a
+        bulk clock jump (a macro-cruise train committing a long span in
+        one event, or a sharded ``run_until`` bound) can land that
+        boundary far past any cycle a caller saw earlier. A query below
+        the boundary cannot be answered exactly — the folded counts are
+        one lump — so failing loudly here is what keeps ``counts_at`` /
+        ``max_occupancy_at`` trustworthy instead of silently drifting.
+        Sharded backends stay queryable at the global end because their
+        ``stats_fold_limit`` watermark never exceeds it.
+        """
+        if cycle + 1 < self._occ_folded_through:
+            raise SimulationError(
+                f"fifo {self.name!r}: time-filtered stats at cycle "
+                f"{cycle} but the occupancy log is folded through "
+                f"{self._occ_folded_through - 1} (raise the engine's "
+                "stats_fold_limit before the clock jumps past the "
+                "query point)")
 
     def counts_at(self, cycle: int) -> tuple[int, int]:
         """Exact ``(pushes, pops)`` counting only events at or before
@@ -1032,8 +1143,10 @@ class Fifo:
         reached. Filtering by the per-item cycle logs at the global end
         restores exact equality — sound because folds never cross the
         engine's ``stats_fold_limit`` watermark, which is always at or
-        below the global end.
+        below the global end (queries below an already-folded prefix
+        raise instead of returning lumped counts).
         """
+        self._check_fold_watermark(cycle)
         return (
             self._occ_folded_stages + bisect_right(self._occ_stages, cycle),
             self._occ_folded_takes + bisect_right(self._occ_takes, cycle),

@@ -214,6 +214,19 @@ class PlannerStats:
     committed by cruise (a subset of ``replicated_rounds`` — every
     cruise round is a replicated round, committed without the per-round
     validation walk).
+
+    Macro-cruise (whole-program fast-forward) adds four: ``ff_windows``
+    counts trains that extended at least one app-side channel lane,
+    ``ff_cycles`` the cycle span those trains committed in closed form
+    (the engine dispatched no events inside it), ``ff_takes`` the packet
+    takes committed inside fast-forward windows, and ``lane_extends``
+    the app-lane extension calls that produced work. All four are
+    recorded on the train origin's arbiter only, so fleet-wide sums are
+    double-count-free. ``ff_bulk_rounds`` counts the pattern rounds
+    committed by the analytic stream fast-forward (the tier-2 macro
+    path: whole steady-state spans extrapolated as Δ-shift lattices with
+    no per-packet replay), summed over every session of the train; it is
+    a subset of ``replicated_rounds``, disjoint from ``cruise_rounds``.
     """
 
     attempts: int = 0
@@ -228,6 +241,11 @@ class PlannerStats:
     cruise_checks: int = 0
     cruise_commits: int = 0
     cruise_rounds: int = 0
+    ff_windows: int = 0
+    ff_cycles: int = 0
+    ff_takes: int = 0
+    lane_extends: int = 0
+    ff_bulk_rounds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -259,6 +277,11 @@ class PlannerStats:
         return (self.cruise_commits / self.cruise_checks
                 if self.cruise_checks else 0.0)
 
+    @property
+    def mean_ff_span(self) -> float:
+        """Mean fast-forwarded span per macro-cruise window, in cycles."""
+        return self.ff_cycles / self.ff_windows if self.ff_windows else 0.0
+
     def merge(self, other: "PlannerStats") -> "PlannerStats":
         return PlannerStats(
             self.attempts + other.attempts,
@@ -273,6 +296,11 @@ class PlannerStats:
             self.cruise_checks + other.cruise_checks,
             self.cruise_commits + other.cruise_commits,
             self.cruise_rounds + other.cruise_rounds,
+            self.ff_windows + other.ff_windows,
+            self.ff_cycles + other.ff_cycles,
+            self.ff_takes + other.ff_takes,
+            self.lane_extends + other.lane_extends,
+            self.ff_bulk_rounds + other.ff_bulk_rounds,
         )
 
 

@@ -506,9 +506,18 @@ def _wire_supply_planner(ranks: dict[int, RankTransport],
     formality here (this builder always constructs fresh arbiters) that
     pins the invariant for every wiring path: a newly wired plane never
     inherits skip lengths escalated under another configuration.
+
+    ``config.macro_cruise`` additionally marks every app-facing stream
+    endpoint (p2p send and receive endpoints) with the planner as its
+    ``macro_host``, so sleeping ``push_vec``/``pop_vec`` bursts register
+    extendable lanes there, and records every support kernel in the
+    planner's plane registry — the global cruise condition consults it
+    before raising the per-train take budget (an unfinished support
+    kernel is an unproven plane, so macro degrades to ordinary cruise).
     """
     sp = SupplyPlanner(replication=config.pattern_replication,
-                       cruise=config.cruise_induction)
+                       cruise=config.cruise_induction,
+                       macro=config.macro_cruise)
     for rt in ranks.values():
         for rank_cks in rt.cks.values():
             rank_cks.supply_planner = sp
@@ -543,5 +552,12 @@ def _wire_supply_planner(ranks: dict[int, RankTransport],
         for kernel in rt.support_kernels.values():
             kernel.send_ep.register_producer(kernel.proc)
             kernel.app_out.register_producer(kernel.proc)
+        if sp.macro:
+            for fifo in rt.send_endpoints.values():
+                fifo.macro_host = sp
+            for fifo in rt.recv_endpoints.values():
+                fifo.macro_host = sp
+            for kernel in rt.support_kernels.values():
+                sp.support_planes.append(kernel)
     sp.reset_backoff()
     return sp

@@ -3,7 +3,7 @@
 Each seeded case draws a topology span (1-6 hops on the Noctua bus), FIFO
 depths (shallow through deep-buffer regimes), a polling parameter, a
 workload (p2p / credited p2p / bcast / reduce / scatter / mixed
-stencil+collective), and a random fabric cut, then runs it under five
+stencil+collective), and a random fabric cut, then runs it under six
 data planes:
 
 * ``flit`` — the per-flit reference interpretation (``burst_mode=False``);
@@ -11,10 +11,21 @@ data planes:
 * ``replicated`` — pattern replication, no induction
   (``cruise_induction=False``);
 * ``cruise`` — the full plane (replication + cruise-mode induction);
+* ``macro`` — cruise plus the whole-program analytical fast-forward
+  (``macro_cruise=True``): steady-state spans commit as closed-form
+  Δ-shift extrapolations with no per-packet replay;
 * ``sharded`` — the full plane on the sharded backend
   (:mod:`repro.shard`), partitioned by the case's randomly drawn cut (a
   random contiguous split into 2-4 shards, occasionally scrambled by
   per-rank overrides), synchronised in conservative epochs.
+
+p2p cases additionally draw *mid-run externalities*: random (position,
+wait) injections on either side of the stream that break the periodic
+steady state partway through. These fuzz the fast-forward's abort
+paths — a jump proven before the injection must re-arm and re-prove
+after it, and a jump whose guard battery sees the perturbed backlog
+must refuse (fall back to ordinary cruise) rather than extrapolate
+through it.
 
 Every plane must produce identical simulated cycles per rank and
 identical per-FIFO push/pop counts and exact occupancy peaks — the same
@@ -25,6 +36,7 @@ nightly CI job.
 """
 
 import multiprocessing
+import os
 import random
 
 import numpy as np
@@ -34,7 +46,7 @@ from repro import NOCTUA, SMI_FLOAT, SMI_INT, SMIProgram, noctua_bus
 from repro.codegen.metadata import OpDecl
 from repro.core.ops import SMI_ADD
 
-#: The five data planes whose cycle trajectories must coincide. The
+#: The six data planes whose cycle trajectories must coincide. The
 #: ``sharded`` plane additionally sets ``backend``/``shards`` from the
 #: case's drawn cut inside ``_assert_planes_agree``.
 HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
@@ -44,8 +56,17 @@ PLANES = {
     "burst": dict(pattern_replication=False),
     "replicated": dict(cruise_induction=False),
     "cruise": dict(),
+    "macro": dict(macro_cruise=True),
     "sharded": dict(),
 }
+
+#: CI's slow job runs the sweep twice, with ``REPRO_MACRO_CRUISE`` off
+#: and on. The ambient flag folds the fast-forward into the base config
+#: of every plane — inert below ``cruise_induction`` (the gate chain
+#: ignores it there), a no-op on the explicit ``macro`` plane, and new
+#: coverage on ``cruise``/``sharded``: the macro path gets fuzzed under
+#: sharded epoch synchronisation too.
+AMBIENT_MACRO = os.environ.get("REPRO_MACRO_CRUISE", "") == "1"
 
 
 def _gen_cut(rng: random.Random, num_ranks: int = 8) -> list[list[int]]:
@@ -88,10 +109,19 @@ def _gen_case(rng: random.Random) -> dict:
     }
     if case["kind"] == "p2p":
         case["hops"] = rng.randint(1, 6)
-        case["n"] = rng.choice([40, 136, 512])
+        case["n"] = rng.choice([40, 136, 512, 2048])
         case["width"] = rng.choice([4, 8])
         case["declare_peer"] = rng.random() < 0.5
         case["stall"] = rng.choice([0, 0, 97])
+        # Mid-run externalities: (fraction, wait, on_receiver) triples.
+        # Each one breaks the stream's periodic steady state partway
+        # through, forcing a macro-cruise fast-forward either to abort
+        # its guard battery or to cap its jump short of the injection.
+        case["inject"] = [
+            (rng.random() * 0.8 + 0.1, rng.choice([13, 61, 140]),
+             rng.random() < 0.5)
+            for _ in range(rng.randint(0, 2))
+        ]
     elif case["kind"] == "credited":
         case["hops"] = rng.randint(1, 4)
         case["n"] = rng.choice([48, 120])
@@ -121,19 +151,40 @@ def _run_case(case: dict, config, partition=None) -> tuple[dict, dict]:
         peer = dict(peer=hops) if case["declare_peer"] else {}
         rpeer = dict(peer=0) if case["declare_peer"] else {}
 
+        # Cut points (width-aligned, interior) with their wait cycles;
+        # the legacy midpoint stall folds in as one more injection.
+        snd_plan = [(n // 2, stall)] if stall else []
+        rcv_plan = []
+        for frac, wait, on_rcv in case.get("inject", ()):
+            pos = (int(frac * n) // width) * width
+            if 0 < pos < n:
+                (rcv_plan if on_rcv else snd_plan).append((pos, wait))
+        snd_plan.sort()
+        rcv_plan.sort()
+
         def snd(smi):
             ch = smi.open_send_channel(n, SMI_FLOAT, hops, 0)
-            if stall:
-                yield from ch.push_vec(data[: n // 2], width=width)
-                yield smi.wait(stall)
-                yield from ch.push_vec(data[n // 2:], width=width)
-            else:
-                yield from ch.push_vec(data, width=width)
+            prev = 0
+            for pos, wait in snd_plan:
+                if pos > prev:
+                    yield from ch.push_vec(data[prev:pos], width=width)
+                    prev = pos
+                yield smi.wait(wait)
+            yield from ch.push_vec(data[prev:], width=width)
 
         def rcv(smi):
             ch = smi.open_recv_channel(n, SMI_FLOAT, 0, 0)
-            out = yield from ch.pop_vec(n, width=width)
-            smi.store("out", [float(v) for v in out])
+            out = []
+            prev = 0
+            for pos, wait in rcv_plan:
+                if pos > prev:
+                    seg = yield from ch.pop_vec(pos - prev, width=width)
+                    out.extend(float(v) for v in seg)
+                    prev = pos
+                yield smi.wait(wait)
+            seg = yield from ch.pop_vec(n - prev, width=width)
+            out.extend(float(v) for v in seg)
+            smi.store("out", out)
             smi.store("end", smi.cycle)
 
         prog.add_kernel(snd, rank=0,
@@ -270,6 +321,7 @@ def _assert_planes_agree(case: dict) -> None:
         inter_ck_fifo_depth=case["inter_ck_fifo_depth"],
         endpoint_fifo_depth=case["endpoint_fifo_depth"],
         read_burst=case["read_burst"],
+        macro_cruise=AMBIENT_MACRO,
     )
     ref = None
     for plane, overrides in PLANES.items():
@@ -310,6 +362,7 @@ def _assert_process_plane_agrees(case: dict, transport: str) -> None:
         inter_ck_fifo_depth=case["inter_ck_fifo_depth"],
         endpoint_fifo_depth=case["endpoint_fifo_depth"],
         read_burst=case["read_burst"],
+        macro_cruise=AMBIENT_MACRO,
     )
     partition = case["cut"]
     ref_marks, ref_counts = _run_case(case, base)

@@ -150,3 +150,23 @@ def test_cli_runs_fast_experiments(capsys):
 def test_cli_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         cli_main(["fig99"])
+
+
+def test_cli_macro_cruise_round_trip(monkeypatch, capsys):
+    """--macro-cruise reaches the runners' config via REPRO_MACRO_CRUISE."""
+    import os
+
+    from repro.harness.runners import default_config
+
+    monkeypatch.delenv("REPRO_MACRO_CRUISE", raising=False)
+    assert default_config().macro_cruise is False
+    assert cli_main(["table1", "--macro-cruise"]) == 0
+    capsys.readouterr()
+    assert os.environ["REPRO_MACRO_CRUISE"] == "1"
+    cfg = default_config()
+    assert cfg.macro_cruise
+    # The full gate chain rides along: macro-cruise implies cruise
+    # induction implies pattern replication implies burst mode.
+    assert cfg.cruise_induction and cfg.pattern_replication and cfg.burst_mode
+    monkeypatch.setenv("REPRO_MACRO_CRUISE", "0")
+    assert default_config().macro_cruise is False

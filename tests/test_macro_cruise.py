@@ -1,0 +1,134 @@
+"""Macro-cruise fast-forward: tier-2 exactness and fold-watermark stats.
+
+The whole-program analytical fast-forward (``HardwareConfig.macro_cruise``)
+commits long steady-state spans as closed-form Δ-shift extrapolations,
+jumping the engine clock in bulk. Two contracts are pinned here:
+
+* **tier-2 A/B exactness** — on the deep-buffer preset at a size where
+  the fast-forward demonstrably fires (``ff_bulk_rounds > 0``), the
+  macro plane must match the burst and cruise planes bit-for-bit: same
+  end cycle, same payload, same per-FIFO push/pop counts and occupancy
+  peaks. (The randomized sweep lives in ``test_burst_fuzz.py``; this is
+  the deterministic anchor.)
+
+* **fold-watermark soundness** — time-filtered stats queries
+  (``Fifo.counts_at`` / ``max_occupancy_at``) interact with the
+  occupancy-log fold, whose boundary a bulk clock jump can land far
+  past any externally observed cycle. With the engine's
+  ``stats_fold_limit`` watermark raised (as the sharded backend does),
+  queries at the watermark stay exact even when the fold boundary falls
+  inside a fast-forwarded span; without it, queries below an
+  already-folded prefix must fail loudly instead of returning lumped
+  counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SMI_FLOAT, SMIProgram, noctua_bus
+from repro.codegen.metadata import OpDecl
+from repro.core.config import hardware_preset
+from repro.core.errors import SimulationError
+from repro.simulation.stats import collect_planner_stats
+
+DEEP = hardware_preset("noctua-deep")
+N = 65536
+
+
+def _run_stream(config, n=N, width=8, fold_watermark=None):
+    """1-hop deep-preset p2p stream; returns (result, planner stats)."""
+    prog = SMIProgram(noctua_bus(), config=config)
+    data = np.arange(n, dtype=np.float32) % 1024
+
+    def snd(smi):
+        if fold_watermark is not None:
+            smi.engine.stats_fold_limit = fold_watermark
+        ch = smi.open_send_channel(n, SMI_FLOAT, 1, 0)
+        yield from ch.push_vec(data, width=width)
+
+    def rcv(smi):
+        ch = smi.open_recv_channel(n, SMI_FLOAT, 0, 0)
+        out = yield from ch.pop_vec(n, width=width)
+        smi.store("sum", float(np.sum(out)))
+        smi.store("ok", bool(np.array_equal(out, data)))
+        smi.store("end", smi.cycle)
+
+    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_FLOAT, peer=1)])
+    prog.add_kernel(rcv, rank=1, ops=[OpDecl("recv", 0, SMI_FLOAT, peer=0)])
+    res = prog.run(max_cycles=200_000_000)
+    assert res.completed, res.reason
+    assert res.store(1, "ok"), "payload mismatch"
+    return res, collect_planner_stats(res.transport)
+
+
+def test_macro_cruise_exact_vs_burst_and_cruise_deep_preset():
+    planes = {
+        "burst": DEEP.with_(pattern_replication=False),
+        "cruise": DEEP,
+        "macro": DEEP.with_(macro_cruise=True),
+    }
+    runs = {name: _run_stream(cfg) for name, cfg in planes.items()}
+
+    macro_stats = runs["macro"][1]
+    assert macro_stats.ff_bulk_rounds > 0, "fast-forward never fired"
+    assert macro_stats.ff_windows > 0
+    assert macro_stats.ff_cycles > 0
+
+    ref, _ = runs["burst"]
+    ref_fifos = ref.engine.fifo_stats()
+    for name in ("cruise", "macro"):
+        res, _ = runs[name]
+        assert res.store(1, "end") == ref.store(1, "end"), name
+        assert res.cycles == ref.cycles, name
+        assert res.store(1, "sum") == ref.store(1, "sum"), name
+        fifos = res.engine.fifo_stats()
+        for fname, rstats in ref_fifos.items():
+            fstats = fifos[fname]
+            for key in ("pushes", "pops", "max_occupancy"):
+                assert fstats[key] == rstats[key], (name, fname, key)
+
+
+def test_counts_at_exact_across_fast_forwarded_fold_boundary():
+    """A fold boundary landing inside a fast-forwarded span must not
+    corrupt time-filtered stats when the watermark is honoured.
+
+    Both planes pin ``stats_fold_limit`` to a mid-stream cycle (well
+    inside the macro plane's steady state, so the surrounding span is
+    committed by bulk extrapolation); ``counts_at``/``max_occupancy_at``
+    at that watermark must then agree exactly between the per-window
+    burst replay and the fast-forwarded run.
+    """
+    watermark = 10_000
+    burst, _ = _run_stream(DEEP.with_(pattern_replication=False),
+                           fold_watermark=watermark)
+    macro, stats = _run_stream(DEEP.with_(macro_cruise=True),
+                               fold_watermark=watermark)
+    assert stats.ff_bulk_rounds > 0, "fast-forward never fired"
+    assert watermark < macro.cycles
+
+    ref = {f.name: f for f in burst.engine.fifos}
+    checked = 0
+    for f in macro.engine.fifos:
+        r = ref[f.name]
+        assert f.counts_at(watermark) == r.counts_at(watermark), f.name
+        assert (f.max_occupancy_at(watermark)
+                == r.max_occupancy_at(watermark)), f.name
+        # End-of-run queries must stay answerable too (the watermark
+        # clamps folds below the global end).
+        assert f.counts_at(macro.cycles) == r.counts_at(burst.cycles), f.name
+        checked += 1
+    assert checked > 0
+
+
+def test_time_filtered_query_below_folded_prefix_raises():
+    """Without a watermark, a bulk clock jump folds the occupancy log
+    far ahead; queries below the folded prefix must fail loudly."""
+    macro, stats = _run_stream(DEEP.with_(macro_cruise=True))
+    assert stats.ff_bulk_rounds > 0
+    folded = [f for f in macro.engine.fifos if f._occ_folded_through > 2]
+    assert folded, "no fifo folded its occupancy log during the bulk run"
+    f = max(folded, key=lambda f: f._occ_folded_through)
+    with pytest.raises(SimulationError, match="folded through"):
+        f.counts_at(f._occ_folded_through - 2)
+    with pytest.raises(SimulationError, match="folded through"):
+        f.max_occupancy_at(f._occ_folded_through - 2)

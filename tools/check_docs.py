@@ -38,6 +38,7 @@ REQUIRED_ARCHITECTURE_HEADINGS = (
     "Slot economy: reserved slots and pairing",
     "Pattern replication",
     "Cruise mode & induction",
+    "Macro-cruise fast-forward",
     "Sharded execution & time sync",
     "Boundary wire format & shared-memory rings",
     "Invariants the test suite pins",
