@@ -228,6 +228,7 @@ def run_macro_points(sizes, repeats, hops_list=MACRO_STREAM_HOPS):
             point["planner"] = stats
             point["ff_coverage"] = round(
                 stats["ff_cycles"] / max(int(cycles_macro), 1), 4)
+            point["macro_chain_len"] = stats.get("mean_ff_chain_len", 0.0)
             points.append(point)
     return points
 
@@ -450,6 +451,8 @@ def build_headline(points):
                 continue
             headline[f"macro_speedup_{p['hops']}hop"] = p["speedup"]
             headline[f"macro_ff_coverage_{p['hops']}hop"] = p["ff_coverage"]
+            headline[f"macro_chain_len_{p['hops']}hop"] = \
+                p["macro_chain_len"]
     headline.update(_perfmodel_residuals(points))
     return headline
 
@@ -565,7 +568,8 @@ def main(argv=None) -> int:
                   f"speedup={p['speedup']:.2f}x  "
                   f"ffwin={planner['ff_windows']} "
                   f"ffrounds={planner['ff_bulk_rounds']} "
-                  f"ffcov={p['ff_coverage']:.2f}")
+                  f"ffcov={p['ff_coverage']:.2f} "
+                  f"chain={p['macro_chain_len']:.1f}")
             continue
         tag = (f"hops={p['hops']} {p['buffers'][:4]}"
                if p["kind"] == "bandwidth" else f"ranks={p['ranks']}")

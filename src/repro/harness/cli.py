@@ -170,6 +170,11 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_SHARD_TRANSPORT"] = args.shard_transport
     if args.macro_cruise:
         os.environ["REPRO_MACRO_CRUISE"] = "1"
+    else:
+        # Two-way plumbing: an absent flag must clear a stale opt-in,
+        # or back-to-back in-process invocations leak the setting into
+        # runs that asked for it off.
+        os.environ["REPRO_MACRO_CRUISE"] = "0"
     # The benchmark modules live in benchmarks/, importable from the repo
     # root; fall back gracefully when invoked from elsewhere.
     here = os.path.dirname(os.path.dirname(os.path.dirname(

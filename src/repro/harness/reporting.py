@@ -105,6 +105,13 @@ def planner_summary(stats) -> str:
         f"rounds (hit {stats.replication_hit_rate:.2f}) | cruise: "
         f"{stats.cruise_rounds:,} rounds in {stats.cruise_commits:,} "
         f"bursts (induction hit {stats.cruise_hit_rate:.2f})"
+        + (
+            f" | macro: {stats.ff_jumps:,} jumps x "
+            f"{stats.mean_ff_chain_len:.1f} relay sessions, "
+            f"{stats.ff_bulk_rounds:,} bulk rounds over "
+            f"{stats.ff_cycles:,}cy"
+            if stats.ff_windows else ""
+        )
     )
 
 
@@ -117,19 +124,29 @@ def shard_timing_summary(timings: list[dict]) -> str:
     decoding boundary records (``serialize``), or blocked on the control
     pipe (``ipc wait``) — plus the exchange-round counters that show how
     hard the self-paced inner loop worked. Empty input (sequential or
-    in-process runs) renders as a single note line.
+    in-process runs) renders as a single note line; a shard whose entry
+    is ``None``/empty (the worker aborted before its first epoch) gets a
+    placeholder row, and ``None`` phase values count as zero.
     """
     if not timings:
         return "shard timing: n/a (no worker processes)"
     rows = []
     for i, t in enumerate(timings):
+        if not t:
+            # A worker that aborted before its first epoch reports no
+            # timing dict (or an empty one); render a placeholder row
+            # instead of crashing so the rest of the table survives.
+            rows.append([f"shard {i}", "-", "-", "-", "-", "-"])
+            continue
+        # ``or 0.0`` also covers explicit ``None`` phase values from a
+        # partially filled report.
         rows.append([
             f"shard {i}",
-            f"{t.get('compute_s', 0.0) * 1e3:.1f}",
-            f"{t.get('serialize_s', 0.0) * 1e3:.1f}",
-            f"{t.get('ipc_wait_s', 0.0) * 1e3:.1f}",
-            t.get("inner_rounds", 0),
-            t.get("outer_rounds", 0),
+            f"{(t.get('compute_s') or 0.0) * 1e3:.1f}",
+            f"{(t.get('serialize_s') or 0.0) * 1e3:.1f}",
+            f"{(t.get('ipc_wait_s') or 0.0) * 1e3:.1f}",
+            t.get("inner_rounds") or 0,
+            t.get("outer_rounds") or 0,
         ])
     return format_table(
         ["shard", "compute [ms]", "serialize [ms]", "ipc wait [ms]",

@@ -50,7 +50,7 @@ def default_config() -> HardwareConfig:
     ``REPRO_SHARD_TRANSPORT`` the process backend's boundary transport
     (``auto``/``shm``/``pipe``). ``REPRO_MACRO_CRUISE=1`` enables the
     macro-cruise whole-program fast-forward on top of whichever preset
-    was chosen (``0`` forces it off). The ``smi-bench`` CLI sets these
+    was chosen (``0``/``""``/``false``/``no`` force it off). The ``smi-bench`` CLI sets these
     from ``--preset``/``--backend``/``--shard-transport``/
     ``--macro-cruise``.
     """
@@ -64,8 +64,12 @@ def default_config() -> HardwareConfig:
     if transport:
         config = config.with_(shard_transport=transport)
     macro = os.environ.get("REPRO_MACRO_CRUISE")
-    if macro is not None and macro != "":
-        config = config.with_(macro_cruise=macro not in ("0", "false", "no"))
+    if macro is not None:
+        # An empty string is an explicit "off", same as "0": the CLI
+        # clears a stale opt-in by writing a falsy value, and a leaked
+        # empty var must not silently keep the previous run's setting.
+        config = config.with_(
+            macro_cruise=macro not in ("", "0", "false", "no"))
     return config
 
 
@@ -108,6 +112,9 @@ def _snapshot_planner_stats(transport, out: dict | None) -> None:
         ff_takes=stats.ff_takes,
         lane_extends=stats.lane_extends,
         ff_bulk_rounds=stats.ff_bulk_rounds,
+        ff_jumps=stats.ff_jumps,
+        ff_chain_hops=stats.ff_chain_hops,
+        mean_ff_chain_len=round(stats.mean_ff_chain_len, 2),
         mean_ff_span=round(stats.mean_ff_span, 2),
     )
 

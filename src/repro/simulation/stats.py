@@ -227,6 +227,13 @@ class PlannerStats:
     path: whole steady-state spans extrapolated as Δ-shift lattices with
     no per-packet replay), summed over every session of the train; it is
     a subset of ``replicated_rounds``, disjoint from ``cruise_rounds``.
+
+    The generalized relay-chain resolver adds two: ``ff_jumps`` counts
+    the analytic jumps that landed (at most one per train), and
+    ``ff_chain_hops`` the total relay sessions those jumps spanned, so
+    ``mean_ff_chain_len`` reports how deep the chains that actually
+    fast-forwarded were (a 4-hop deep stream resolves as one chain of 8
+    relay sessions: CKS and CKR at every hop).
     """
 
     attempts: int = 0
@@ -246,6 +253,8 @@ class PlannerStats:
     ff_takes: int = 0
     lane_extends: int = 0
     ff_bulk_rounds: int = 0
+    ff_jumps: int = 0
+    ff_chain_hops: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -282,6 +291,11 @@ class PlannerStats:
         """Mean fast-forwarded span per macro-cruise window, in cycles."""
         return self.ff_cycles / self.ff_windows if self.ff_windows else 0.0
 
+    @property
+    def mean_ff_chain_len(self) -> float:
+        """Mean relay sessions per landed analytic jump (chain depth)."""
+        return self.ff_chain_hops / self.ff_jumps if self.ff_jumps else 0.0
+
     def merge(self, other: "PlannerStats") -> "PlannerStats":
         return PlannerStats(
             self.attempts + other.attempts,
@@ -301,6 +315,8 @@ class PlannerStats:
             self.ff_takes + other.ff_takes,
             self.lane_extends + other.lane_extends,
             self.ff_bulk_rounds + other.ff_bulk_rounds,
+            self.ff_jumps + other.ff_jumps,
+            self.ff_chain_hops + other.ff_chain_hops,
         )
 
 

@@ -510,8 +510,11 @@ def _wire_supply_planner(ranks: dict[int, RankTransport],
     ``config.macro_cruise`` additionally marks every app-facing stream
     endpoint (p2p send and receive endpoints) with the planner as its
     ``macro_host``, so sleeping ``push_vec``/``pop_vec`` bursts register
-    extendable lanes there, and records every support kernel in the
-    planner's plane registry — the global cruise condition consults it
+    extendable lanes there, registers cross-shard boundary links in the
+    planner's ``boundary_fifos`` (a fast-forward chain reaching one can
+    never terminate on a recv lane, so the resolver refuses permanently
+    and the shard drops the macro probe tax), and records every support
+    kernel in the planner's plane registry — the global cruise condition consults it
     before raising the per-train take budget (an unfinished support
     kernel is an unproven plane, so macro degrades to ordinary cruise).
     """
@@ -541,6 +544,12 @@ def _wire_supply_planner(ranks: dict[int, RankTransport],
                 if dst_rt is not None:
                     sp.wire(link.fifo, producer=cks,
                             consumer=dst_rt.ckr[dst_iface])
+                elif sp.macro:
+                    # Boundary link of a sharded plane: the consumer CK
+                    # is in another shard, so a macro chain walk ending
+                    # here can never arm — register it so the resolver
+                    # refuses permanently instead of probing every sweep.
+                    sp.boundary_fifos.add(id(link.fifo))
         for i, ckr in rt.ckr.items():
             ckr.to_paired_cks.register_producer(ckr.proc)
             sp.wire(ckr.to_paired_cks, producer=ckr, consumer=rt.cks[i])

@@ -610,6 +610,12 @@ def plan_window(ck, engine, start, resume_reads, idx=None, memo=None,
                       blocked_on, starved_on, trace_out)
 
 
+#: Same-cycle event order within a pattern round: readable witness (2)
+#: before take (0) before unreadable observation (1) — see the ordering
+#: comment in :class:`WindowPattern`.
+_EV_RANK = (1, 2, 0)
+
+
 class WindowPattern:
     """A confirmed periodic window shape, compiled for bulk replication.
 
@@ -677,7 +683,15 @@ class WindowPattern:
                   for (rel_t, j, rel_s, tgt) in ops_rel]
         merged.extend((rel_c, 2 if readable else 1, j, 0, None)
                       for (rel_c, j, readable) in obs_rel)
-        merged.sort(key=lambda e: (e[0], e[1]))
+        # Same-cycle order must mirror the live planner's program order:
+        # a park's wake-up scan witnesses the head readable *and then*
+        # takes it in the same cycle, so the readable witness precedes
+        # the take (it binds to the pre-take head), while the park-race
+        # unreadable observations refer to the post-take head and follow
+        # it. Sorting by raw kind would key the witness one item ahead —
+        # a constraint one supply cycle too strict, which starves every
+        # replica round in the zero-slack regime of relay interior hops.
+        merged.sort(key=lambda e: (e[0], _EV_RANK[e[1]]))
         for ev in merged:
             rel_c, kind, j = ev[0], ev[1], ev[2]
             if kind == 0:
@@ -695,7 +709,7 @@ class WindowPattern:
                       for (j, _s), rel_c in u_max.items())
         events.extend((rel_c, 2, j, 0, None)
                       for (j, _s), rel_c in r_min.items())
-        events.sort(key=lambda e: (e[0], e[1]))
+        events.sort(key=lambda e: (e[0], _EV_RANK[e[1]]))
         self.events = tuple(events)
         used = {ev[2] for ev in events}
         self.inputs_used = tuple(sorted(used))
@@ -925,6 +939,21 @@ TRAIN_SWEEP_LIMIT = 4096
 #: with the session list (tests and ad-hoc profiling; None in production).
 _train_debug = None
 
+#: Test seam for the fast-forward guard battery: a callable
+#: ``probe(guard, hop) -> bool`` consulted at every guard site of the
+#: analytic jump's proof (``hop`` is the chain position the guard
+#: concerns, ``-1`` for chain-wide guards). Returning True forces that
+#: guard to report failure, so tests can drive each abort path
+#: deterministically and pin the per-packet-replication fallback
+#: bit-exact (``tests/test_macro_ff_aborts.py``); None in production.
+_ff_guard_probe = None
+
+
+def _ff_veto(guard: str, hop: int = -1) -> bool:
+    """True when the test probe vetoes this guard site (see above)."""
+    p = _ff_guard_probe
+    return p is not None and p(guard, hop)
+
 
 def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
     """Co-replicate confirmed patterns along a pipeline and bulk-commit.
@@ -1053,6 +1082,29 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
         sessions[id(peer)] = sess
         order.append(sess)
         hook_inputs(sess)  # also replays earlier sessions' virtual items
+
+    def ff_close_chain() -> bool:
+        """Join the whole relay pipeline around the train (macro only).
+
+        Ordinary trains grow on demand — a peer joins when a session
+        blocks on its slots or starves on its supply. In a deep-buffer
+        steady state the interior hops of a relay chain do neither
+        (every FIFO holds its bandwidth-delay product), so a multi-hop
+        program shatters into per-CK trains and the chain resolver
+        never sees the whole stream. Under the raised macro budget,
+        walk every session's inputs upstream and targets downstream
+        and invite those CKs too; ``try_join``'s own preconditions
+        (confirmed contiguous pattern, demand precheck) still decide.
+        Returns True when the train grew.
+        """
+        n0 = len(order)
+        for sess in order:  # appends during iteration close transitively
+            inputs = sess.arb.inputs
+            for j in sess.pattern.inputs_used:
+                try_join(planner.producer_ck.get(id(inputs[j])))
+            for tgt in sess.pattern.target_fifos:
+                try_join(planner.consumer_ck.get(id(tgt)))
+        return len(order) > n0
 
     def publish_stage(fifo, pkt, s) -> None:
         ready = s + fifo.latency
@@ -1512,114 +1564,165 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
     FF_MAX_P = 4                # longest sweep period probed
     FF_KEEP = 2 * FF_MAX_P + 1  # checkpoints retained
     ff_done = False             # one jump per train; also locks try_join
-    ff_chain = None             # resolved 1-hop stream chain
-    ff_lists = None             # tracked (list, kind) registry
-    ff_cps: list = []           # sweep-boundary fingerprints
+    ff_dead = False             # permanent no-arm: stop probing the train
+    ff_armed = False            # chains resolved at least once (stats)
+    ff_chains = None            # resolved relay chains, one per stream
+    ff_lists = None             # per chain: tracked (list, kind) registry
+    ff_cps = None               # per chain: sweep-boundary fingerprints
+    ff_shape = None             # (sessions, lanes) chains resolved under
 
     def ff_resolve():
-        """Resolve the train as the canonical 1-hop app stream chain.
+        """Resolve the train as app-stream relay chains.
 
-        send lane -> producer session -> link -> consumer session ->
-        recv lane, with the whole channel history inside the lanes (so
-        a stream element's position identifies its payload — the
-        element-indexed packet runs depend on it) and no frozen-value
-        release left in front of the sender's pacing cursor (a consumed
-        release *writes* the cursor via ``max(cur, rel + 1)``, so only
-        Δ-shifting train releases may feed it). Returns ``None`` until
-        the shape — and both sessions' cursors — has materialised.
+        Each chain is ``send lane -> session_0 -> ... -> session_n ->
+        recv lane``, found by walking every session's single
+        ``target_fifos[0]`` into the next session's input — transit CK
+        relays included, so a 4-hop deep stream resolves as one chain
+        of 8 relay sessions. Interior hops must be builder-wired relay
+        FIFOs (``planner.relay_fifos``: CK-internal transit, no app
+        writer can reach them), the whole channel history must sit
+        inside the lanes (a stream element's position identifies its
+        payload — the element-indexed packet runs depend on it), and no
+        frozen-value release may be left in front of a sender's pacing
+        cursor (a consumed release *writes* the cursor via ``max(cur,
+        rel + 1)``, so only Δ-shifting train releases may feed it).
+
+        Concurrent independent streams resolve as one chain per send
+        lane; disjointness is structural — every session and recv lane
+        is claimed by at most one walk, and any sharing (two sessions
+        on one input, two chains through one session or endpoint) is an
+        overlap refusal that falls back to per-packet replication.
+
+        Returns ``(chains, permanent)``: ``chains`` is the resolved
+        list or ``None``; ``permanent`` marks refusals no later sweep
+        can heal (a compiled pattern's shape — its input/target counts —
+        is fixed for the whole train), which disarms probing for the
+        rest of the train instead of re-fingerprinting every sweep.
         """
         sends = [la for la in lanes_used.values() if la.is_send]
-        recvs = [la for la in lanes_used.values() if not la.is_send]
-        if len(sends) != 1 or len(recvs) != 1:
-            return None
-        ls, lr = sends[0], recvs[0]
-        if not ls.active or not lr.active \
-                or ls.cur is None or lr.cur is None:
-            return None
-        ep_s = ls.chan.endpoint
-        ep_r = lr.chan.endpoint
-        sa = sb = None
+        recvs = {}
+        for la in lanes_used.values():
+            if not la.is_send:
+                recvs[id(la.chan.endpoint)] = la
+        if not sends or len(recvs) != len(sends):
+            return None, False
+        by_input = {}
         for sess in order:
             tpi = sess.pattern.takes_per_input
-            if sess.done or len(tpi) != 1 \
-                    or len(sess.pattern.target_fifos) != 1 \
-                    or len(sess.stage_cursors) != 1:
-                return None
+            if len(tpi) != 1 or len(sess.pattern.target_fifos) != 1:
+                return None, True  # pattern shape fixed: never a relay
+            if sess.done:
+                return None, False
             j, tpr = tpi[0]
-            if sess.arb.inputs[j] is ep_s:
-                sa = (sess, j, tpr)
-            else:
-                sb = (sess, j, tpr)
-        if sa is None or sb is None:
-            return None
-        sess_a, j_a, tpr_a = sa
-        sess_b, j_b, tpr_b = sb
-        link_f = sess_b.arb.inputs[j_b]
-        cur_l = next(iter(sess_a.stage_cursors.values()))
-        cur_r = next(iter(sess_b.stage_cursors.values()))
-        if cur_l.stamp != stamp or cur_r.stamp != stamp \
-                or not cur_l.is_link or cur_l.fifo is not link_f \
-                or sess_a.pattern.target_fifos[0] is not link_f \
-                or cur_r.is_link or cur_r.fifo is not ep_r \
-                or sess_b.pattern.target_fifos[0] is not ep_r:
-            return None
-        chan_s, chan_r = ls.chan, lr.chan
-        if chan_s._sent != ls.i or chan_r._received != lr.got \
-                or chan_r._current is not None \
-                or chan_s.dtype is not chan_r.dtype \
-                or sess_a.snap_iter[j_a] is not None \
-                or sess_b.snap_iter[j_b] is not None \
-                or ls.rel_ptr < ls.rels0:
-            return None
-        return (sess_a, j_a, tpr_a, sess_b, j_b, tpr_b, ls, lr,
-                cur_l, cur_r, chan_s.dtype.elements_per_packet)
+            fin = sess.arb.inputs[j]
+            if id(fin) in by_input:
+                return None, True  # two sessions on one input: overlap
+            by_input[id(fin)] = (sess, j, tpr)
+        relay = planner.relay_fifos
+        chains = []
+        taken: set = set()        # sessions claimed by an earlier walk
+        claimed_eps: set = set()  # recv endpoints claimed by a chain
+        for ls in sends:
+            chan_s = ls.chan
+            if not ls.active or ls.cur is None or ls.rel_ptr < ls.rels0 \
+                    or chan_s._sent != ls.i:
+                return None, False
+            hops = []
+            f = chan_s.endpoint
+            while True:
+                ent = by_input.get(id(f))
+                if ent is None:
+                    return None, False  # consumer not joined (yet)
+                sess, j, tpr = ent
+                if id(sess) in taken:
+                    return None, True  # chains share a session: overlap
+                taken.add(id(sess))
+                if len(sess.stage_cursors) != 1 \
+                        or sess.snap_iter[j] is not None:
+                    return None, False
+                cur = next(iter(sess.stage_cursors.values()))
+                tgt = sess.pattern.target_fifos[0]
+                if cur.stamp != stamp or cur.fifo is not tgt:
+                    return None, False
+                hops.append((sess, j, tpr, cur))
+                if id(tgt) in relay:
+                    f = tgt  # transit hop: keep walking the chain
+                    continue
+                lr = recvs.pop(id(tgt), None)
+                break
+            if lr is None:
+                if id(tgt) in claimed_eps:
+                    return None, True  # two chains, one endpoint: overlap
+                if id(tgt) in planner.boundary_fifos:
+                    # Cross-shard boundary: the consumer lives in another
+                    # shard's planner, so this walk can never reach a
+                    # recv lane — a permanent refusal.
+                    return None, True
+                return None, False  # recv lane not registered (yet)
+            claimed_eps.add(id(tgt))
+            chan_r = lr.chan
+            if not lr.active or lr.cur is None \
+                    or chan_r._received != lr.got \
+                    or chan_r._current is not None \
+                    or chan_s.dtype is not chan_r.dtype:
+                return None, False
+            chains.append((ls, lr, hops,
+                           chan_s.dtype.elements_per_packet))
+        if len(taken) != len(order) or recvs:
+            return None, False  # sessions/lanes outside every chain
+        return chains, False
 
-    def ff_track():
-        """Every per-packet list the chain appends to, with its kind:
-        ``'c'`` cycle lattice, ``'p'`` packets, ``'t'`` (pkt, ready)."""
-        (sess_a, j_a, _ta, sess_b, j_b, _tb, ls, lr, cl, cr, _e) = ff_chain
-        return (
-            (sess_a.take_cycles[j_a], 'c'), (sess_a.all_takes, 'c'),
-            (sess_a.snap_items[j_a], 'p'), (sess_a.snap_ready[j_a], 'c'),
-            (sess_b.take_cycles[j_b], 'c'), (sess_b.all_takes, 'c'),
-            (sess_b.snap_items[j_b], 'p'), (sess_b.snap_ready[j_b], 'c'),
-            (cl.rels, 'c'), (cl.stage_cycles, 'c'), (cl.stage_pkts, 'p'),
-            (cr.rels, 'c'), (cr.stage_cycles, 'c'), (cr.stage_pkts, 'p'),
-            (ls.rels, 'c'), (ls.pend_cycles, 'c'), (ls.pend_pkts, 'p'),
-            (lr.take_cycles, 'c'), (lr.items, 't'),
-        )
+    def ff_track(chain):
+        """Every per-packet list one chain appends to, with its kind:
+        ``'c'`` cycle lattice, ``'p'`` packets, ``'t'`` (pkt, ready) —
+        built by iterating the resolved chain in stream order."""
+        ls, lr, hops, _epp = chain
+        lists = [(ls.rels, 'c'), (ls.pend_cycles, 'c'),
+                 (ls.pend_pkts, 'p')]
+        for sess, j, _tpr, cur in hops:
+            lists += [
+                (sess.take_cycles[j], 'c'), (sess.all_takes, 'c'),
+                (sess.snap_items[j], 'p'), (sess.snap_ready[j], 'c'),
+                (cur.rels, 'c'), (cur.stage_cycles, 'c'),
+                (cur.stage_pkts, 'p'),
+            ]
+        lists += [(lr.take_cycles, 'c'), (lr.items, 't')]
+        return tuple(lists)
 
-    def ff_checkpoint():
-        """Fingerprint the chain at a sweep boundary: every counter,
+    def ff_checkpoint(chain, lists):
+        """Fingerprint one chain at a sweep boundary: every counter,
         every cycle-valued frontier, every tracked list length."""
-        (sess_a, j_a, _ta, sess_b, j_b, _tb, ls, lr, cl, cr, _e) = ff_chain
+        ls, lr, hops, _epp = chain
         counts = [
-            sess_a.rounds, sess_a.takes, sess_b.rounds, sess_b.takes,
-            ls.i, ls.free, ls.rel_ptr, ls.claimed, ls.chan._packer.pending,
+            ls.i, ls.free, ls.rel_ptr, ls.claimed,
+            ls.chan._packer.pending,
             lr.got, lr.ic, lr.ip, lr.pend_takes,
-            cl.free, cl.rel_ptr, cr.free, cr.rel_ptr,
         ]
-        for sess in (sess_a, sess_b):
+        cycles = [ls.cur, lr.cur]
+        for sess, _jc, _tpr, cur in hops:
+            counts += [sess.rounds, sess.takes, cur.free, cur.rel_ptr]
+            cycles.append(sess.T)
+            if cur.is_link:
+                cycles.append(cur.next_free)
             for j in sess.pattern.inputs_used:
                 counts.append(sess.ptr[j])
                 counts.append(sess.avail[j])
                 counts.append(len(sess.snap_items[j]))
-        cycles = (sess_a.T, sess_b.T, ls.cur, lr.cur, cl.next_free)
-        lens = tuple(len(L) for L, _k in ff_lists)
-        return (tuple(counts), cycles, lens)
+        lens = tuple(len(L) for L, _k in lists)
+        return (tuple(counts), tuple(cycles), lens)
 
-    def ff_detect():
+    def ff_detect(cps):
         """Find the shortest period P whose last two windows advanced
         every counter equally and every cycle frontier by one common
-        ΔT > 0. Returns ``(ΔT, count deltas, lens at the three
-        checkpoints)`` or ``None``."""
-        n_cp = len(ff_cps)
+        ΔT > 0 in one chain's fingerprint history. Returns ``(ΔT,
+        count deltas, lens at the three checkpoints)`` or ``None``."""
+        n_cp = len(cps)
         for P in range(1, FF_MAX_P + 1):
             if n_cp < 2 * P + 1:
                 break
-            cpA = ff_cps[-1 - 2 * P]
-            cpB = ff_cps[-1 - P]
-            cpC = ff_cps[-1]
+            cpA = cps[-1 - 2 * P]
+            cpB = cps[-1 - P]
+            cpC = cps[-1]
             dn = tuple(y - x for x, y in zip(cpA[0], cpB[0]))
             if dn != tuple(y - x for x, y in zip(cpB[0], cpC[0])):
                 continue
@@ -1705,34 +1808,37 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
                 k += 1
         return ok
 
-    def ff_apply(dT, dn, lensA, lensB, lensC):
+    def ff_apply(chain, lists, dT, dn, lensA, lensB, lensC):
         """Verify the period is a provable Δ-shift and bulk-apply R of
-        them. Returns True when the jump landed (False leaves the train
-        on ordinary replication with nothing mutated)."""
-        (sess_a, j_a, tpr_a, sess_b, j_b, tpr_b,
-         ls, lr, cl, cr, epp) = ff_chain
-        (rnd_a, tpp_a, rnd_b, tpp_b,
-         d_i, d_lsfree, d_lsrp, d_lscl, d_pend,
-         d_got, d_ic, d_ip, d_ptk,
-         d_clfree, d_clrp, d_crfree, d_crrp) = dn[:17]
+        them along the whole relay chain. Returns True when the jump
+        landed (False leaves the train on ordinary replication with
+        nothing mutated)."""
+        ls, lr, hops, epp = chain
+        (d_i, d_lsfree, d_lsrp, d_lscl, d_pend,
+         d_got, d_ic, d_ip, d_ptk) = dn[:9]
         dE = d_i  # stream elements shipped per period
         if dE <= 0 or d_got != dE or dE % epp or dE % ls.width:
             return False
         ppp = dE // epp  # packets per period, uniform along the chain
-        if d_pend or d_ic or d_lsfree or d_clfree or d_crfree:
+        if d_pend or d_ic or d_lsfree:
             return False
-        if tpp_a != ppp or tpp_b != ppp \
-                or rnd_a <= 0 or rnd_b <= 0 \
-                or tpp_a != rnd_a * tpr_a or tpp_b != rnd_b * tpr_b \
-                or dT != rnd_a * sess_a.pattern.delta \
-                or dT != rnd_b * sess_b.pattern.delta:
+        if d_lsrp != ppp or d_lscl != ppp or d_ip != ppp or d_ptk != ppp:
             return False
-        if d_lsrp != ppp or d_lscl != ppp or d_ip != ppp or d_ptk != ppp \
-                or d_clrp != ppp or d_crrp != ppp:
-            return False
-        # Chain-input bookkeeping in lockstep; every other input frozen.
-        ei = 17
-        for sess, jc in ((sess_a, j_a), (sess_b, j_b)):
+        # Per hop: the period must be a whole number of that session's
+        # pattern rounds with the common ΔT, its takes must equal the
+        # chain's packets per period (per-hop element conservation in
+        # the deltas), and its chain-input bookkeeping must advance in
+        # lockstep while every other input stays frozen.
+        ei = 9
+        rnds = []
+        for sess, jc, tpr, cur in hops:
+            rnd, tpp, d_cfree, d_crp = dn[ei:ei + 4]
+            ei += 4
+            if tpp != ppp or rnd <= 0 or tpp != rnd * tpr \
+                    or dT != rnd * sess.pattern.delta \
+                    or d_cfree or d_crp != ppp:
+                return False
+            rnds.append(rnd)
             for j in sess.pattern.inputs_used:
                 d_ptr, d_avail, d_len = dn[ei:ei + 3]
                 ei += 3
@@ -1760,7 +1866,7 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
                     and p.op == tmpl.op and p.dtype is tmpl.dtype)
 
         # ---- Δ-shift verification of the two observed windows ----------
-        for (L, kind), a, b, c in zip(ff_lists, lensA, lensB, lensC):
+        for (L, kind), a, b, c in zip(lists, lensA, lensB, lensC):
             if len(L) != c:
                 return False
             if kind == 'c':
@@ -1780,21 +1886,28 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
                     return False
                 if not all(attrs_ok(p) for p, _r in L[a:c]):
                     return False
-        # ---- element conservation along the chain ----------------------
+        # ---- element conservation along every hop ----------------------
+        # Walk the element frontier down the chain: each hop's standing
+        # inventory pushes the next-staged element back, and the frontier
+        # must stay packet-aligned and ahead of the receiver at every
+        # hop, landing exactly on the receiver's pending backlog.
         pend0 = ls.chan._packer.pending
         e_ship0 = ls.i - pend0  # elements inside emitted packets
         g0 = lr.got
-        avail_a = sess_a.avail[j_a]
-        avail_b = sess_b.avail[j_b]
         pend_r = len(lr.items) - lr.ip
-        if e_ship0 % epp or g0 % epp \
-                or e_ship0 != g0 + epp * (avail_a + avail_b + pend_r):
+        if e_ship0 % epp or g0 % epp:
+            return False
+        e = e_ship0
+        for k, (sess, jc, _tpr, _cur) in enumerate(hops):
+            e -= epp * sess.avail[jc]
+            if e < g0 or _ff_veto('conservation', k):
+                return False
+        if e != g0 + epp * pend_r:
             return False
         # Standing (pre-window, frozen) items must look like the stream.
-        if not all(map(attrs_ok, sess_a.snap_items[j_a][sess_a.ptr[j_a]:])):
-            return False
-        if not all(map(attrs_ok, sess_b.snap_items[j_b][sess_b.ptr[j_b]:])):
-            return False
+        for sess, jc, _tpr, _cur in hops:
+            if not all(map(attrs_ok, sess.snap_items[jc][sess.ptr[jc]:])):
+                return False
         if not all(attrs_ok(p) for p, _r in lr.items[lr.ip:]):
             return False
         # The sender's release backlog must sit on the Δ lattice:
@@ -1808,30 +1921,34 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
         for idx in range(ls.rel_ptr - ppp, len(rels_s) - ppp):
             if rels_s[idx + ppp] != rels_s[idx] + dT:
                 return False
-        # ---- every externality bounds R (in periods) -------------------
+        if _ff_veto('rel-lattice'):
+            return False
+        # ---- every externality bounds R (in periods); the closed-form
+        # horizon/budget bounds are the min over the whole chain. -------
         R = (len(ls.values) - ls.i) // dE - 1  # message end: leave the
         r_b = (lr.n - g0) // dE - 1            # tail to the sweeps
         if r_b < R:
             R = r_b
-        r_b = (max_takes - sess_a.takes) // tpp_a - 1
-        if r_b < R:
-            R = r_b
-        r_b = (max_takes - sess_b.takes) // tpp_b - 1
-        if r_b < R:
-            R = r_b
+        for sess, _jc, _tpr, _cur in hops:
+            r_b = (max_takes - sess.takes) // ppp - 1
+            if r_b < R:
+                R = r_b
         r_b = (1 << 22) // dE  # commit-list sanity cap
         if r_b < R:
             R = r_b
-        for sess, jc, rpd, tpr in ((sess_a, j_a, rnd_a, tpr_a),
-                                   (sess_b, j_b, rnd_b, tpr_b)):
+        if _ff_veto('budget'):
+            return False
+        for k, ((sess, jc, tpr, _cur), rpd) in enumerate(zip(hops, rnds)):
             ob = ff_obs_bound(sess, jc)
             if ob is not None and ob // rpd < R:
                 R = ob // rpd
-            if R < 2:
+            if R < 2 or _ff_veto('horizon', k):
                 return False
             st = ff_standing_rounds(sess, jc, tpr, R * rpd)
             if st // rpd < R:
                 R = st // rpd
+            if _ff_veto('standing', k):
+                return False
         if R < 2:
             return False
         # Standing recv-lane items must continue the readiness lattice
@@ -1852,10 +1969,13 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
             m += 1
         if cap // ppp < R:
             R = cap // ppp
+        if _ff_veto('recv-lattice'):
+            return False
         # Cursor release backlogs only *floor* the pattern's stage
         # cycles (frozen values are older, hence smaller — but each
-        # consumed release must still free its slot in time).
-        for cur in (cl, cr):
+        # consumed release must still free its slot in time, at every
+        # hop of the chain).
+        for k, (_sess, _jc, _tpr, cur) in enumerate(hops):
             w2_sc = cur.stage_cycles[-ppp:]
             rels = cur.rels
             cap = R * ppp
@@ -1868,11 +1988,11 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
                 m += 1
             if cap // ppp < R:
                 R = cap // ppp
+            if _ff_veto('slots', k):
+                return False
         if R < 2:
             return False
         # ---- apply: R periods in closed form ---------------------------
-        e_a0 = e_ship0 - epp * avail_a   # next element sess_a stages
-        e_b0 = e_a0 - epp * avail_b      # next element sess_b stages
         e_tail0 = g0 + R * dE            # first element left in-chain
         dt_np = ls.chan.dtype.np_dtype
         values = ls.values
@@ -1906,53 +2026,43 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
             S = np.array(L[-ppp:], dtype=np.int64)
             L += (S[None, :] + shifts).ravel().tolist()
 
-        run_a = pkt_run(e_ship0)
-        run_l = pkt_run(e_a0)
-        run_r = pkt_run(e_b0)
         S_r = [r for _p, r in lr.items[-ppp:]]
         # Sender lane: stages into the send endpoint.
+        run_in = pkt_run(e_ship0)
         ext_c(ls.pend_cycles)
-        ls.pend_pkts += run_a
+        ls.pend_pkts += run_in
         ext_c(ls.rels)
-        # Producer session: takes the endpoint, stages into the link.
-        ext_c(sess_a.take_cycles[j_a])
-        ext_c(sess_a.all_takes)
-        ext_c(sess_a.snap_ready[j_a])
-        sess_a.snap_items[j_a] += run_a
-        ext_c(cl.rels)
-        ext_c(cl.stage_cycles)
-        cl.stage_pkts += run_l
-        # Consumer session: takes the link, stages into the recv endpoint.
-        ext_c(sess_b.take_cycles[j_b])
-        ext_c(sess_b.all_takes)
-        ext_c(sess_b.snap_ready[j_b])
-        sess_b.snap_items[j_b] += run_l
-        ext_c(cr.rels)
-        ext_c(cr.stage_cycles)
-        cr.stage_pkts += run_r
+        # Each hop takes its input's run and stages the run shifted by
+        # its own standing inventory, handing it to the next hop.
+        e = e_ship0
+        for sess, jc, _tpr, cur in hops:
+            ext_c(sess.take_cycles[jc])
+            ext_c(sess.all_takes)
+            ext_c(sess.snap_ready[jc])
+            sess.snap_items[jc] += run_in
+            e -= epp * sess.avail[jc]
+            run_in = pkt_run(e)
+            ext_c(cur.rels)
+            ext_c(cur.stage_cycles)
+            cur.stage_pkts += run_in
         # Recv lane: takes the endpoint, payload straight to the caller.
         ext_c(lr.take_cycles)
         lr.items += list(zip(
-            run_r,
+            run_in,
             (np.array(S_r, dtype=np.int64)[None, :] + shifts)
             .ravel().tolist()))
         lr.out[g0:g0 + R * dE] = np.asarray(values[g0:g0 + R * dE], dt_np)
-        # Counters: R per-period deltas each.
-        sess_a.rounds += R * rnd_a
-        sess_a.takes += R * tpp_a
-        sess_a.T += R * dT
-        sess_a.ptr[j_a] += total_p
-        sess_a.blocked_on = sess_a.starved_on = None
-        sess_a.dirty = True
-        sess_b.rounds += R * rnd_b
-        sess_b.takes += R * tpp_b
-        sess_b.T += R * dT
-        sess_b.ptr[j_b] += total_p
-        sess_b.blocked_on = sess_b.starved_on = None
-        sess_b.dirty = True
-        cl.rel_ptr += total_p
-        cl.next_free += R * dT
-        cr.rel_ptr += total_p
+        # Counters: R per-period deltas each, at every hop.
+        for (sess, jc, _tpr, cur), rnd in zip(hops, rnds):
+            sess.rounds += R * rnd
+            sess.takes += R * ppp
+            sess.T += R * dT
+            sess.ptr[jc] += total_p
+            sess.blocked_on = sess.starved_on = None
+            sess.dirty = True
+            cur.rel_ptr += total_p
+            if cur.is_link:
+                cur.next_free += R * dT
         ls.i += R * dE
         ls.cur += R * dT
         ls.rel_ptr += total_p
@@ -1969,23 +2079,41 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
         lr.ip += total_p
         lr.pend_takes += total_p
         lr.chan._received += R * dE
-        origin.arb.planner_stats.ff_bulk_rounds += R * (rnd_a + rnd_b)
+        stats = origin.arb.planner_stats
+        stats.ff_bulk_rounds += R * sum(rnds)
+        stats.ff_jumps += 1
+        stats.ff_chain_hops += len(hops)
         return True
 
     def ff_try():
-        nonlocal ff_chain, ff_lists, ff_done
-        if ff_chain is None:
-            ff_chain = ff_resolve()
-            if ff_chain is None:
+        nonlocal ff_chains, ff_lists, ff_cps, ff_shape, \
+            ff_done, ff_dead, ff_armed
+        shape = (len(order), len(lanes_used))
+        if ff_chains is not None and shape != ff_shape:
+            ff_chains = None  # a session or lane joined: chains staled
+        if ff_chains is None:
+            chains, permanent = ff_resolve()
+            if chains is None:
+                if permanent:
+                    # Shape can never materialize: stop fingerprinting
+                    # this train AND drop the program-wide probing taxes
+                    # (chain closure, futility-backoff override).
+                    ff_dead = True
+                    planner.ff_disarmed = True
                 return False
-            ff_lists = ff_track()
-        ff_cps.append(ff_checkpoint())
-        if len(ff_cps) > FF_KEEP:
-            del ff_cps[0]
-        det = ff_detect()
-        if det is not None and ff_apply(*det):
-            ff_done = True
-            return True
+            ff_shape = shape
+            ff_armed = True
+            ff_chains = chains
+            ff_lists = [ff_track(c) for c in chains]
+            ff_cps = [[] for _ in chains]
+        for chain, lists, cps in zip(ff_chains, ff_lists, ff_cps):
+            cps.append(ff_checkpoint(chain, lists))
+            if len(cps) > FF_KEEP:
+                del cps[0]
+            det = ff_detect(cps)
+            if det is not None and ff_apply(chain, lists, *det):
+                ff_done = True
+                return True
         return False
 
     # ---- ping-pong: sweep sessions until no round makes progress.
@@ -2035,11 +2163,13 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
                                 for pkt, s in ext:
                                     publish_stage(sess.starved_on, pkt, s)
                                 progress = True
-        if not ff_done and macro_lanes is not None \
-                and max_takes == MACRO_MAX_TAKES \
-                and len(order) == 2 and len(lanes_used) == 2 \
-                and ff_try():
-            progress = True
+        if not ff_done and not ff_dead and not planner.ff_disarmed \
+                and macro_lanes is not None \
+                and max_takes == MACRO_MAX_TAKES:
+            if ff_close_chain():
+                progress = True  # new sessions need a sweep before ff
+            elif len(lanes_used) >= 2 and ff_try():
+                progress = True
 
     committed = [sess for sess in order if sess.rounds]
     if not committed:
@@ -2112,14 +2242,19 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
                     and end > proc._scheduled_for):
                 engine.preempt(proc, end)
             lane.finish()
-        ff_start = min(sess.start for sess in committed)
-        span = max(ff_end, max(sess.T for sess in committed)) - ff_start
         stats = origin.arb.planner_stats
-        stats.ff_windows += 1
-        stats.ff_cycles += span
-        stats.ff_takes += sum(sess.takes for sess in committed)
         stats.lane_extends += lane_extends
-        engine.note_fast_forward(span)
+        if ff_armed:
+            # Only count the train as a fast-forward window when the
+            # chain resolver actually armed: un-armable programs ride
+            # ordinary cruise and must not inflate ff coverage.
+            ff_start = min(sess.start for sess in committed)
+            span = max(ff_end, max(sess.T for sess in committed)) \
+                - ff_start
+            stats.ff_windows += 1
+            stats.ff_cycles += span
+            stats.ff_takes += sum(sess.takes for sess in committed)
+            engine.note_fast_forward(span)
     # ---- per-session resume state, stats, and wakes --------------------
     origin_res = None
     for sess in committed:
@@ -2258,6 +2393,25 @@ class SupplyPlanner:
         #: kernel the builder wired (CK planes prove themselves per
         #: resource inside the train; app planes prove via their lanes).
         self.support_planes: list = []
+        #: id(fifo) of every transit FIFO (CK-internal hand-offs, link
+        #: FIFOs, cross-shard boundaries): the fast-forward chain
+        #: resolver walks *through* these and must terminate only on app
+        #: endpoint FIFOs, never on an interior relay hop.
+        self.relay_fifos: set[int] = set()
+        #: id(fifo) of every cross-shard boundary link FIFO: its consumer
+        #: CK lives in another shard's planner, so a chain walk reaching
+        #: one can never terminate on a recv lane — a *permanent* resolve
+        #: refusal (the builder registers these so sharded planes drop
+        #: the macro probe tax on the first attempt instead of
+        #: re-fingerprinting every sweep).
+        self.boundary_fifos: set[int] = set()
+        #: Permanent macro no-arm: set when the chain resolver refuses a
+        #: train for a reason no later sweep can heal (pattern shapes are
+        #: fixed — wrong input/target counts, overlapping chains). From
+        #: then on the program drops every macro-only tax: no chain
+        #: closure, no checkpoint fingerprinting, and the replication
+        #: futility backoff behaves exactly as with macro off.
+        self.ff_disarmed = False
         self._stamp = 0  # plan-call counter (cursor refresh generation)
         self._extra_results: list = []  # peer-session train results
         self._cascade_origin = None     # CK whose event we are inside
@@ -2268,6 +2422,7 @@ class SupplyPlanner:
 
     def wire(self, fifo, producer=None, consumer=None) -> None:
         """Declare the CK endpoints of one transit FIFO (builder hook)."""
+        self.relay_fifos.add(id(fifo))
         if producer is not None:
             self.producer_ck[id(fifo)] = producer
         if consumer is not None:
@@ -2356,7 +2511,8 @@ class SupplyPlanner:
             self._stamp += 1
             res = plan_window(ck, engine, start, resume_reads, memo=memo,
                               cursors=cursors, stamp=self._stamp,
-                              trace=self.replication and not arb._rep_skip)
+                              trace=self.replication and
+                              (not arb._rep_skip or self._macro_probing()))
             if res is None:
                 return None
             self._commit(arb, res, start, "window", arb._idx, resume_reads)
@@ -2443,6 +2599,20 @@ class SupplyPlanner:
                     arb._pattern_phase = 0
                     break
 
+    def _macro_probing(self) -> bool:
+        """True while the macro fast-forward may still arm this program.
+
+        The futility backoff quiesces CKs whose trains commit too few
+        rounds — untraced windows, no replication attempts — which is
+        exactly what starves a relay chain's interior hops of the
+        confirmed patterns the chain resolver needs (their per-CK trains
+        are short even when the whole chain is steady). While probing,
+        traces and replication attempts stay on for every CK; the first
+        permanent resolve refusal (``ff_disarmed``) ends the override
+        for the rest of the program.
+        """
+        return self.macro and not self.ff_disarmed
+
     def _try_replicate(self, ck, engine, start, reads, idx, memo, cursors):
         """Replicate the CK's confirmed pattern from ``start``, if any.
 
@@ -2454,7 +2624,7 @@ class SupplyPlanner:
         peer results await the cascade in ``_extra_results``.
         """
         arb = ck.arbiter
-        if arb._rep_skip:
+        if arb._rep_skip and not self._macro_probing():
             arb._rep_skip -= 1
             return None
         pat = arb._pattern
@@ -2555,7 +2725,8 @@ class SupplyPlanner:
         self._stamp += 1
         res = plan_window(ck, engine, start, sreads, memo=memo,
                           cursors=cursors, stamp=self._stamp,
-                          trace=self.replication and not arb._rep_skip)
+                          trace=self.replication and
+                              (not arb._rep_skip or self._macro_probing()))
         if res is None:
             return None
         self._commit(arb, res, start, "extension", sidx, sreads)
@@ -2591,7 +2762,8 @@ class SupplyPlanner:
                 res = plan_window(peer, engine, start, sreads, memo=memo,
                                   cursors=cursors, stamp=self._stamp,
                                   trace=self.replication
-                                  and not arb._rep_skip)
+                                  and (not arb._rep_skip
+                                       or self._macro_probing()))
                 if res is None:
                     return None
                 self._commit(arb, res, start, "coplan", sidx, sreads)
@@ -2612,7 +2784,8 @@ class SupplyPlanner:
         self._stamp += 1
         res = plan_window(peer, engine, start, -1, idx=idx, memo=memo,
                           cursors=cursors, stamp=self._stamp,
-                          trace=self.replication and not arb._rep_skip)
+                          trace=self.replication and
+                              (not arb._rep_skip or self._macro_probing()))
         if res is None or not res.takes:
             return None
         self._commit(arb, res, start, "coplan", idx, -1)

@@ -140,8 +140,14 @@ def _gen_case(rng: random.Random) -> dict:
     return case
 
 
-def _run_case(case: dict, config, partition=None) -> tuple[dict, dict]:
-    """Run one case; returns (per-rank end cycles + outputs, fifo stats)."""
+def _run_case(case: dict, config, partition=None,
+              stats_out: dict | None = None) -> tuple[dict, dict]:
+    """Run one case; returns (per-rank end cycles + outputs, fifo stats).
+
+    When ``stats_out`` is given, the merged :class:`PlannerStats` of the
+    run land under its ``"planner"`` key (arming assertions on the
+    deterministic deep cases).
+    """
     kind = case["kind"]
     prog = SMIProgram(noctua_bus(), config=config, partition=partition)
     if kind == "p2p":
@@ -307,6 +313,9 @@ def _run_case(case: dict, config, partition=None) -> tuple[dict, dict]:
 
     res = prog.run(max_cycles=50_000_000)
     assert res.completed, res.reason
+    if stats_out is not None:
+        from repro.simulation.stats import collect_planner_stats
+        stats_out["planner"] = collect_planner_stats(res.transport)
     marks = {}
     for rank in watch:
         marks[(rank, "end")] = res.store(rank, "end")
@@ -346,6 +355,51 @@ def _assert_planes_agree(case: dict) -> None:
 def test_fuzz_cycle_equivalence_seeded(seed):
     """Tier-1: 20 fixed seeds across the generator's parameter space."""
     _assert_planes_agree(_gen_case(random.Random(seed)))
+
+
+#: Deterministic deep-buffer multi-hop anchors for the 6-way plane: at
+#: 32-deep FIFOs and 8k-element streams the macro plane's relay-chain
+#: fast-forward demonstrably arms on 2- and 4-hop chains (the random
+#: sweep's short streams rarely reach the fingerprint depth), and the
+#: injected variant breaks the steady state mid-run so the armed guard
+#: battery must refuse and fall back. ``arms`` pins whether the jump
+#: must land (cycle-equality across all six planes is required either
+#: way).
+DEEP_MACRO_CASES = [
+    dict(kind="p2p", hops=2, n=8192, width=8, declare_peer=True,
+         stall=0, inject=[], inter_ck_fifo_depth=32,
+         endpoint_fifo_depth=32, read_burst=8,
+         cut=[[0, 1, 2, 3], [4, 5, 6, 7]], arms=True),
+    dict(kind="p2p", hops=4, n=8192, width=8, declare_peer=True,
+         stall=0, inject=[], inter_ck_fifo_depth=32,
+         endpoint_fifo_depth=32, read_burst=8,
+         cut=[[0, 1], [2, 3, 4], [5, 6, 7]], arms=True),
+    dict(kind="p2p", hops=4, n=8192, width=8, declare_peer=True,
+         stall=0, inject=[(0.5, 61, False), (0.7, 13, True)],
+         inter_ck_fifo_depth=32, endpoint_fifo_depth=32, read_burst=8,
+         cut=[[0, 1, 2], [3, 4, 5], [6, 7]], arms=False),
+]
+
+
+@pytest.mark.parametrize("idx", range(len(DEEP_MACRO_CASES)))
+def test_deep_multihop_macro_planes_agree(idx):
+    """Tier-1: the 6-way plane on deep multi-hop streams where the
+    relay-chain fast-forward actually fires."""
+    case = DEEP_MACRO_CASES[idx]
+    _assert_planes_agree(case)
+    if case["arms"]:
+        base = NOCTUA.with_(
+            inter_ck_fifo_depth=case["inter_ck_fifo_depth"],
+            endpoint_fifo_depth=case["endpoint_fifo_depth"],
+            read_burst=case["read_burst"],
+            macro_cruise=True,
+        )
+        stats_out: dict = {}
+        _run_case(case, base, stats_out=stats_out)
+        st = stats_out["planner"]
+        assert st.ff_bulk_rounds > 0, "deep case stopped arming"
+        assert st.ff_jumps >= 1
+        assert st.mean_ff_chain_len >= 3
 
 
 @pytest.mark.slow

@@ -1,6 +1,7 @@
 """Tests for the benchmark harness: reporting, paper data, runners, CLI."""
 
 import math
+import re
 
 import pytest
 
@@ -55,6 +56,45 @@ def test_comparison_render_contains_units():
     cmp.add("x", 1.0, 1.1)
     text = cmp.render()
     assert "paper [us]" in text and "measured [us]" in text
+
+
+def test_planner_summary_renders_macro_segment():
+    from repro.harness import planner_summary
+    from repro.simulation.stats import PlannerStats
+
+    stats = PlannerStats(ff_windows=1, ff_cycles=5000, ff_bulk_rounds=420,
+                         ff_jumps=2, ff_chain_hops=16)
+    line = planner_summary(stats)
+    assert "macro: 2 jumps x 8.0 relay sessions" in line
+    assert "420 bulk rounds over 5,000cy" in line
+    # Runs that never fast-forwarded stay silent about macro.
+    assert "macro" not in planner_summary(PlannerStats())
+
+
+def test_shard_timing_summary_survives_empty_and_partial_entries():
+    """Aborted workers report no timing dict (or a partial one with
+    ``None`` phase values); the table renders placeholder rows and
+    zeroes instead of crashing or emitting NaN."""
+    from repro.harness.reporting import shard_timing_summary
+
+    assert "n/a" in shard_timing_summary([])
+    text = shard_timing_summary([
+        None,
+        {},
+        {"compute_s": None, "serialize_s": None, "ipc_wait_s": None,
+         "inner_rounds": None, "outer_rounds": None},
+        {"compute_s": 0.5, "serialize_s": 0.125, "ipc_wait_s": 0.25,
+         "inner_rounds": 12, "outer_rounds": 3},
+    ])
+    lines = text.splitlines()
+    row = {m.group(0): line for line in lines
+           if (m := re.match(r"shard \d+", line))}
+    assert set(row) == {"shard 0", "shard 1", "shard 2", "shard 3"}
+    for aborted in ("shard 0", "shard 1"):
+        assert row[aborted].count("-") >= 5, row[aborted]
+    # None phase values count as zero, never NaN.
+    assert "0.0" in row["shard 2"] and "nan" not in text.lower()
+    assert "500.0" in row["shard 3"] and "125.0" in row["shard 3"]
 
 
 # ----------------------------------------------------------------------
@@ -170,3 +210,29 @@ def test_cli_macro_cruise_round_trip(monkeypatch, capsys):
     assert cfg.cruise_induction and cfg.pattern_replication and cfg.burst_mode
     monkeypatch.setenv("REPRO_MACRO_CRUISE", "0")
     assert default_config().macro_cruise is False
+
+
+def test_cli_macro_cruise_cleared_without_flag(monkeypatch, capsys):
+    """Two-way plumbing: a stale ``REPRO_MACRO_CRUISE=1`` from an earlier
+    in-process invocation must not leak into a later one that did not
+    pass ``--macro-cruise`` — the CLI writes "0" explicitly."""
+    import os
+
+    from repro.harness.runners import default_config
+
+    monkeypatch.setenv("REPRO_MACRO_CRUISE", "1")
+    assert cli_main(["table1"]) == 0
+    capsys.readouterr()
+    assert os.environ["REPRO_MACRO_CRUISE"] == "0"
+    assert default_config().macro_cruise is False
+
+
+def test_macro_cruise_env_falsy_spellings_are_off(monkeypatch):
+    """The runners treat ""/"0"/"false"/"no" as off, not merely unset."""
+    from repro.harness.runners import default_config
+
+    for value in ("", "0", "false", "no"):
+        monkeypatch.setenv("REPRO_MACRO_CRUISE", value)
+        assert default_config().macro_cruise is False, repr(value)
+    monkeypatch.setenv("REPRO_MACRO_CRUISE", "1")
+    assert default_config().macro_cruise is True

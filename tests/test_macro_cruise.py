@@ -35,15 +35,15 @@ DEEP = hardware_preset("noctua-deep")
 N = 65536
 
 
-def _run_stream(config, n=N, width=8, fold_watermark=None):
-    """1-hop deep-preset p2p stream; returns (result, planner stats)."""
+def _run_stream(config, n=N, width=8, fold_watermark=None, hops=1):
+    """Deep-preset p2p stream over ``hops``; returns (result, stats)."""
     prog = SMIProgram(noctua_bus(), config=config)
     data = np.arange(n, dtype=np.float32) % 1024
 
     def snd(smi):
         if fold_watermark is not None:
             smi.engine.stats_fold_limit = fold_watermark
-        ch = smi.open_send_channel(n, SMI_FLOAT, 1, 0)
+        ch = smi.open_send_channel(n, SMI_FLOAT, hops, 0)
         yield from ch.push_vec(data, width=width)
 
     def rcv(smi):
@@ -53,11 +53,13 @@ def _run_stream(config, n=N, width=8, fold_watermark=None):
         smi.store("ok", bool(np.array_equal(out, data)))
         smi.store("end", smi.cycle)
 
-    prog.add_kernel(snd, rank=0, ops=[OpDecl("send", 0, SMI_FLOAT, peer=1)])
-    prog.add_kernel(rcv, rank=1, ops=[OpDecl("recv", 0, SMI_FLOAT, peer=0)])
+    prog.add_kernel(snd, rank=0,
+                    ops=[OpDecl("send", 0, SMI_FLOAT, peer=hops)])
+    prog.add_kernel(rcv, rank=hops,
+                    ops=[OpDecl("recv", 0, SMI_FLOAT, peer=0)])
     res = prog.run(max_cycles=200_000_000)
     assert res.completed, res.reason
-    assert res.store(1, "ok"), "payload mismatch"
+    assert res.store(hops, "ok"), "payload mismatch"
     return res, collect_planner_stats(res.transport)
 
 
@@ -86,6 +88,180 @@ def test_macro_cruise_exact_vs_burst_and_cruise_deep_preset():
             fstats = fifos[fname]
             for key in ("pushes", "pops", "max_occupancy"):
                 assert fstats[key] == rstats[key], (name, fname, key)
+
+
+def test_macro_cruise_arms_on_four_hop_relay_chain():
+    """The generalized resolver must arm on a deep multi-hop stream.
+
+    A 4-hop deep stream resolves as one relay chain of 11 pattern
+    sessions (each transit rank contributes its CKR plus two CKS
+    sessions); the analytic jump must land (``ff_jumps``), span the
+    whole chain (``mean_ff_chain_len``), commit bulk rounds, and stay
+    bit-for-bit exact against the burst and cruise planes.
+    """
+    hops, n = 4, 32768
+    planes = {
+        "burst": DEEP.with_(pattern_replication=False),
+        "cruise": DEEP,
+        "macro": DEEP.with_(macro_cruise=True),
+    }
+    runs = {name: _run_stream(cfg, n=n, hops=hops)
+            for name, cfg in planes.items()}
+
+    stats = runs["macro"][1]
+    assert stats.ff_bulk_rounds > 0, "fast-forward never fired at 4 hops"
+    assert stats.ff_jumps >= 1
+    assert stats.mean_ff_chain_len >= 3, \
+        "jump did not span a multi-session relay chain"
+
+    ref, _ = runs["burst"]
+    ref_fifos = ref.engine.fifo_stats()
+    for name in ("cruise", "macro"):
+        res, _ = runs[name]
+        assert res.store(hops, "end") == ref.store(hops, "end"), name
+        assert res.cycles == ref.cycles, name
+        assert res.store(hops, "sum") == ref.store(hops, "sum"), name
+        fifos = res.engine.fifo_stats()
+        for fname, rstats in ref_fifos.items():
+            fstats = fifos[fname]
+            for key in ("pushes", "pops", "max_occupancy"):
+                assert fstats[key] == rstats[key], (name, fname, key)
+
+
+def _run_disjoint_pair(config, n):
+    """Two independent p2p streams (0->1 and 2->3) in one program."""
+    prog = SMIProgram(noctua_bus(), config=config)
+    data_a = np.arange(n, dtype=np.float32) % 1024
+    data_b = (np.arange(n, dtype=np.float32) * 3) % 997
+
+    def make_snd(data, peer):
+        def snd(smi):
+            ch = smi.open_send_channel(n, SMI_FLOAT, peer, 0)
+            yield from ch.push_vec(data, width=8)
+        return snd
+
+    def make_rcv(data, peer):
+        def rcv(smi):
+            ch = smi.open_recv_channel(n, SMI_FLOAT, peer, 0)
+            out = yield from ch.pop_vec(n, width=8)
+            smi.store("ok", bool(np.array_equal(out, data)))
+            smi.store("end", smi.cycle)
+        return rcv
+
+    prog.add_kernel(make_snd(data_a, 1), rank=0,
+                    ops=[OpDecl("send", 0, SMI_FLOAT, peer=1)])
+    prog.add_kernel(make_rcv(data_a, 0), rank=1,
+                    ops=[OpDecl("recv", 0, SMI_FLOAT, peer=0)])
+    prog.add_kernel(make_snd(data_b, 3), rank=2,
+                    ops=[OpDecl("send", 0, SMI_FLOAT, peer=3)])
+    prog.add_kernel(make_rcv(data_b, 2), rank=3,
+                    ops=[OpDecl("recv", 0, SMI_FLOAT, peer=2)])
+    res = prog.run(max_cycles=200_000_000)
+    assert res.completed, res.reason
+    for rank in (1, 3):
+        assert res.store(rank, "ok"), f"payload mismatch on rank {rank}"
+    return res, collect_planner_stats(res.transport)
+
+
+def test_macro_cruise_concurrent_disjoint_streams():
+    """Two structurally disjoint streams both fast-forward.
+
+    The resolver claims every session and lane into exactly one chain
+    per send lane; with two independent streams on disjoint ranks both
+    chains arm (one jump each) and the run stays cycle-exact against
+    the burst and cruise planes.
+    """
+    n = 32768
+    ref, _ = _run_disjoint_pair(DEEP.with_(pattern_replication=False), n)
+    cruise, _ = _run_disjoint_pair(DEEP, n)
+    macro, stats = _run_disjoint_pair(DEEP.with_(macro_cruise=True), n)
+
+    assert stats.ff_jumps >= 2, "both disjoint chains should jump"
+    assert stats.ff_bulk_rounds > 0
+    for rank in (1, 3):
+        assert macro.store(rank, "end") == ref.store(rank, "end")
+        assert cruise.store(rank, "end") == ref.store(rank, "end")
+    assert macro.cycles == cruise.cycles == ref.cycles
+    ref_fifos = ref.engine.fifo_stats()
+    fifos = macro.engine.fifo_stats()
+    for fname, rstats in ref_fifos.items():
+        fstats = fifos[fname]
+        for key in ("pushes", "pops", "max_occupancy"):
+            assert fstats[key] == rstats[key], (fname, key)
+
+
+def _run_two_port(config, n, chunk=128):
+    """Two interleaved flows on one physical path (rank 0 -> rank 1).
+
+    Both channels share every relay session between the ranks, so the
+    sessions poll two inputs and demux into two targets — fixed
+    pattern shapes the relay-chain resolver permanently refuses. This
+    program can never arm the fast-forward, whatever the sweep sees
+    later, so the first refusal must disarm probing for good.
+    """
+    prog = SMIProgram(noctua_bus(), config=config)
+    data_a = np.arange(n, dtype=np.float32) % 1024
+    data_b = (np.arange(n, dtype=np.float32) * 5) % 811
+
+    def snd(smi):
+        ch_a = smi.open_send_channel(n, SMI_FLOAT, 1, 0)
+        ch_b = smi.open_send_channel(n, SMI_FLOAT, 1, 1)
+        for lo in range(0, n, chunk):
+            yield from ch_a.push_vec(data_a[lo:lo + chunk], width=8)
+            yield from ch_b.push_vec(data_b[lo:lo + chunk], width=8)
+
+    def rcv(smi):
+        ch_a = smi.open_recv_channel(n, SMI_FLOAT, 0, 0)
+        ch_b = smi.open_recv_channel(n, SMI_FLOAT, 0, 1)
+        out_a, out_b = [], []
+        for lo in range(0, n, chunk):
+            seg = yield from ch_a.pop_vec(chunk, width=8)
+            out_a.extend(float(v) for v in seg)
+            seg = yield from ch_b.pop_vec(chunk, width=8)
+            out_b.extend(float(v) for v in seg)
+        smi.store("ok", bool(np.array_equal(out_a, data_a)
+                             and np.array_equal(out_b, data_b)))
+        smi.store("end", smi.cycle)
+
+    prog.add_kernel(snd, rank=0,
+                    ops=[OpDecl("send", 0, SMI_FLOAT, peer=1),
+                         OpDecl("send", 1, SMI_FLOAT, peer=1)])
+    prog.add_kernel(rcv, rank=1,
+                    ops=[OpDecl("recv", 0, SMI_FLOAT, peer=0),
+                         OpDecl("recv", 1, SMI_FLOAT, peer=0)])
+    res = prog.run(max_cycles=200_000_000)
+    assert res.completed, res.reason
+    assert res.store(1, "ok"), "payload mismatch"
+    return res, collect_planner_stats(res.transport)
+
+
+def test_macro_no_arm_program_pays_zero_ff_overhead():
+    """A permanently un-armable program must disarm probing.
+
+    The shared-path two-port shape can never resolve (its relay
+    patterns poll two inputs and stage into two targets, and pattern
+    shapes are fixed for the whole train), so the first permanent
+    refusal flips ``SupplyPlanner.ff_disarmed``: no fast-forward
+    window is ever counted, and the trajectory is identical to plain
+    cruise — the macro flag costs nothing here.
+    """
+    n = 16384
+    cruise, _ = _run_two_port(DEEP, n)
+    macro, stats = _run_two_port(DEEP.with_(macro_cruise=True), n)
+
+    assert stats.ff_windows == 0, "no-arm program counted an ff window"
+    assert stats.ff_jumps == 0
+    assert stats.ff_bulk_rounds == 0
+    assert macro.store(1, "end") == cruise.store(1, "end")
+    assert macro.cycles == cruise.cycles
+    # The permanent refusal disarmed the probing machinery for good.
+    planners = {
+        id(ck.supply_planner): ck.supply_planner
+        for rt in macro.transport.ranks.values()
+        for ck in list(rt.cks.values()) + list(rt.ckr.values())
+    }
+    assert any(sp.ff_disarmed for sp in planners.values()), \
+        "permanent resolve refusal never disarmed the planner"
 
 
 def test_counts_at_exact_across_fast_forwarded_fold_boundary():

@@ -1,0 +1,141 @@
+"""Deterministic abort-path coverage for the macro-cruise guard battery.
+
+The analytic jump (``ff_apply`` in :mod:`repro.transport.planner`) only
+commits after a battery of guards proves the extrapolation sound along
+the whole relay chain: per-hop element conservation, release/readiness
+lattice checks, the closed-form horizon/budget bounds (min over the
+chain), and per-hop slot-release caps. The randomized fuzz sweep
+(``tests/test_burst_fuzz.py``) perturbs these paths stochastically;
+this module drives each guard *deterministically* through the
+``planner._ff_guard_probe`` test seam — a probe that forces a chosen
+guard at a chosen hop to report failure — and pins the contract that a
+refused jump falls back to per-packet replication with bit-identical
+cycles and FIFO trajectories.
+
+The vetoed run must also never count a jump (``ff_jumps == 0``): a
+guard refusal aborts the whole analytic commit, not just a bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SMI_FLOAT, SMIProgram, noctua_bus
+from repro.codegen.metadata import OpDecl
+from repro.core.config import hardware_preset
+from repro.simulation.stats import collect_planner_stats
+from repro.transport import planner as planner_mod
+
+DEEP = hardware_preset("noctua-deep")
+MACRO = DEEP.with_(macro_cruise=True)
+N = 16384
+HOPS = 4
+#: A 4-hop chain resolves as 11 relay sessions (hop indices 0..10):
+#: each transit rank contributes CKR -> CKS -> CKS.
+LAST_HOP = 10
+
+
+def _run(config, n=N, hops=HOPS, probe=None):
+    """One deep p2p stream with the guard probe installed for the run."""
+    prog = SMIProgram(noctua_bus(), config=config)
+    data = np.arange(n, dtype=np.float32) % 1024
+
+    def snd(smi):
+        ch = smi.open_send_channel(n, SMI_FLOAT, hops, 0)
+        yield from ch.push_vec(data, width=8)
+
+    def rcv(smi):
+        ch = smi.open_recv_channel(n, SMI_FLOAT, 0, 0)
+        out = yield from ch.pop_vec(n, width=8)
+        smi.store("ok", bool(np.array_equal(out, data)))
+        smi.store("end", smi.cycle)
+
+    prog.add_kernel(snd, rank=0,
+                    ops=[OpDecl("send", 0, SMI_FLOAT, peer=hops)])
+    prog.add_kernel(rcv, rank=hops,
+                    ops=[OpDecl("recv", 0, SMI_FLOAT, peer=0)])
+    assert planner_mod._ff_guard_probe is None
+    planner_mod._ff_guard_probe = probe
+    try:
+        res = prog.run(max_cycles=200_000_000)
+    finally:
+        planner_mod._ff_guard_probe = None
+    assert res.completed, res.reason
+    assert res.store(hops, "ok"), "payload mismatch"
+    return res, collect_planner_stats(res.transport)
+
+
+def _veto(guard, hop):
+    """A probe failing ``guard`` at ``hop`` (any hop when ``None``),
+    plus the list of (guard, hop) sites it actually fired at."""
+    fired = []
+
+    def probe(g, h):
+        if g == guard and (hop is None or h == hop):
+            fired.append((g, h))
+            return True
+        return False
+
+    return probe, fired
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Plain-cruise trajectory plus the un-vetoed macro precondition."""
+    ref, _ = _run(DEEP)
+    macro, stats = _run(MACRO)
+    assert stats.ff_jumps >= 1, "precondition: jump must land un-vetoed"
+    assert macro.cycles == ref.cycles
+    return ref
+
+
+@pytest.mark.parametrize("guard,hop", [
+    ("conservation", 1),    # element-conservation miss, interior hop
+    ("slots", 5),           # frozen release before a mid-chain cursor
+    ("horizon", LAST_HOP),  # observation-horizon cap on the last hop
+    ("rel-lattice", -1),    # off-lattice sender release (chain-wide)
+    ("recv-lattice", -1),   # off-lattice recv-lane readiness
+    ("budget", -1),         # closed-form take-budget floor
+    ("standing", 0),        # frozen standing backlog on the first hop
+])
+def test_guard_veto_falls_back_bit_identical(reference, guard, hop):
+    probe, fired = _veto(guard, hop)
+    vetoed, stats = _run(MACRO, probe=probe)
+
+    assert fired, f"guard site {guard!r}@{hop} was never consulted"
+    assert all(g == guard for g, _h in fired)
+    if hop != -1:
+        assert any(h == hop for _g, h in fired)
+    assert stats.ff_jumps == 0, "vetoed guard must abort the jump"
+    assert stats.ff_bulk_rounds == 0
+
+    # Bit-identical per-packet fallback: same end cycle, same per-FIFO
+    # push/pop counts and occupancy peaks as plain cruise.
+    assert vetoed.store(HOPS, "end") == reference.store(HOPS, "end")
+    assert vetoed.cycles == reference.cycles
+    ref_fifos = reference.engine.fifo_stats()
+    fifos = vetoed.engine.fifo_stats()
+    for fname, rstats in ref_fifos.items():
+        fstats = fifos[fname]
+        for key in ("pushes", "pops", "max_occupancy"):
+            assert fstats[key] == rstats[key], (fname, key)
+
+
+def test_probe_observes_every_hop_of_the_chain():
+    """A passive probe (never vetoes) sees per-hop guards consulted at
+    every chain position, pinning the chain length the battery walks."""
+    seen = []
+
+    def probe(g, h):
+        seen.append((g, h))
+        return False
+
+    _res, stats = _run(MACRO, probe=probe)
+    assert stats.ff_jumps >= 1
+    cons_hops = {h for g, h in seen if g == "conservation"}
+    assert cons_hops == set(range(LAST_HOP + 1)), \
+        "conservation guard must walk every hop of the 4-hop chain"
+    assert {h for g, h in seen if g == "horizon"} == cons_hops
+    assert {g for g, _h in seen} >= {
+        "conservation", "rel-lattice", "budget", "horizon",
+        "standing", "recv-lattice", "slots",
+    }

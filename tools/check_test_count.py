@@ -25,6 +25,21 @@ from pathlib import Path
 
 BASELINE = Path(__file__).resolve().parent / "test_counts.json"
 
+#: Canonical pytest selection per CI job — the same argument vectors the
+#: workflow passes on the command line (kept in sync with
+#: ``.github/workflows/ci.yml``). ``tools/update_test_counts.py`` uses
+#: this map to refresh every baseline in one invocation.
+JOBS: dict[str, list[str]] = {
+    "tier1": ["-m", "not slow"],
+    "slow": ["-m", "slow"],
+    "shard-shm": ["tests/test_shard.py", "tests/test_shard_wire.py",
+                  "tests/test_burst_fuzz.py", "-m", "not slow",
+                  "-k", "not (shm or pipe) or shm"],
+    "shard-pipe": ["tests/test_shard.py", "tests/test_shard_wire.py",
+                   "tests/test_burst_fuzz.py", "-m", "not slow",
+                   "-k", "not (shm or pipe) or pipe"],
+}
+
 
 def collect_count(pytest_args: list[str]) -> int:
     """Number of tests pytest selects for this argument vector."""
@@ -66,9 +81,14 @@ def main(argv: list[str]) -> int:
                             + "\n")
         print(f"{job}: baseline set to {got}")
         return 0
+    update_cmd = (f"python tools/update_test_counts.py {job}"
+                  if job in JOBS else
+                  "python tools/check_test_count.py --update "
+                  + " ".join([job, *pytest_args]))
     if want is None:
         print(f"ERROR: no baseline for job {job!r} in {BASELINE.name}; "
-              f"collected {got}. Run with --update to record it.")
+              f"collected {got}. Record it (and commit the result) "
+              f"with:\n    {update_cmd}")
         return 1
     delta = got - want
     print(f"{job}: collected {got}, baseline {want} (delta {delta:+d})")
@@ -76,8 +96,8 @@ def main(argv: list[str]) -> int:
         return 0
     verb = "lost" if delta < 0 else "gained"
     print(f"ERROR: {job} {verb} {abs(delta)} collected test(s). "
-          f"If intentional, re-run with --update and commit "
-          f"{BASELINE.name}.")
+          f"If intentional, update the baseline (and commit "
+          f"{BASELINE.name}) with:\n    {update_cmd}")
     return 1
 
 

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Refresh the committed test-count baselines in one invocation.
+
+``tools/check_test_count.py`` fails any CI job whose collected test
+count drifts from ``tools/test_counts.json`` — intentional test growth
+therefore has to land with an updated baseline. This helper makes that
+a one-liner::
+
+    python tools/update_test_counts.py            # every job
+    python tools/update_test_counts.py tier1 slow # a subset
+
+It re-collects each job with the canonical selection from
+``check_test_count.JOBS`` (the same argument vectors CI passes),
+rewrites the baseline file, and prints the per-job deltas so the diff
+that lands in review is self-explanatory. Run it with ``PYTHONPATH=src``
+from the repository root, exactly like the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from check_test_count import BASELINE, JOBS, collect_count
+
+
+def main(argv: list[str]) -> int:
+    jobs = argv or list(JOBS)
+    unknown = [j for j in jobs if j not in JOBS]
+    if unknown:
+        raise SystemExit(
+            f"unknown job(s) {unknown}; known: {', '.join(JOBS)}")
+    counts = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+    for job in jobs:
+        got = collect_count(JOBS[job])
+        old = counts.get(job)
+        delta = "" if old is None else f" (was {old}, delta {got - old:+d})"
+        counts[job] = got
+        print(f"{job}: {got}{delta}")
+    BASELINE.write_text(json.dumps(counts, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
