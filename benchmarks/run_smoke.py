@@ -23,6 +23,12 @@ script:
   applies proven rounds without dispatching events), with cycle-exactness
   enforced, the wall-clock speedup recorded, and the fraction of
   simulated cycles covered by fast-forward windows attached per point;
+* a tracing-overhead point: the canonical deep 1-hop stream run with
+  the flight recorder off and on (``HardwareConfig.trace``), with
+  cycle-exactness enforced and the wall-clock ratio recorded
+  (``trace_overhead_off``, record-only); the traced arm also writes
+  ``BENCH_trace_sample.json``, a Perfetto-loadable sample trace CI
+  uploads as an artifact;
 * a sharded-backend sweep over two workloads — the legacy 8-rank
   deep-buffer multi-stream fabric (each rank sends fully, then
   receives: its staggered drain serialises the shards) and a 16-rank
@@ -119,6 +125,11 @@ SHARD_COUNTS = (2, 4)
 #: of a 2- or 4-way cut the same steady-state work, unlike the 8-rank
 #: multistream whose staggered drain serialises the shards.
 UNIFORM_STREAM_RANKS = 16
+
+#: Element count for the tracing-overhead point (the canonical deep
+#: 1-hop stream, run with the flight recorder off and on).
+TRACE_STREAM_ELEMENTS = 1 << 15
+QUICK_TRACE_STREAM_ELEMENTS = 1 << 13
 
 
 def _best_of(fn, repeats: int):
@@ -231,6 +242,42 @@ def run_macro_points(sizes, repeats, hops_list=MACRO_STREAM_HOPS):
             point["macro_chain_len"] = stats.get("mean_ff_chain_len", 0.0)
             points.append(point)
     return points
+
+
+def run_trace_points(n, repeats, sample_out=None):
+    """Flight-recorder cost on the canonical deep 1-hop stream.
+
+    Runs the same stream with tracing off and on.
+    ``trace_overhead_off`` is ``wall_s_off / wall_s_on`` — how much
+    faster the untraced run is (record-only: the zero-overhead-off
+    *cycle* contract is what the equivalence suites gate; this tracks
+    the wall-clock cost of turning the recorder on). Cycle counts must
+    be identical either way. When ``sample_out`` is given, the traced
+    arm also writes its merged Perfetto trace there (the CI artifact).
+    """
+    import os
+
+    off_cfg = NOCTUA_DEEP
+    on_cfg = NOCTUA_DEEP.with_(trace=True)
+    cycles_off, wall_off = _best_of(
+        lambda: measure_stream_sim(n, 1, SMI_FLOAT, off_cfg), repeats)
+    if sample_out is not None:
+        os.environ["REPRO_TRACE_OUT"] = str(sample_out)
+    try:
+        cycles_on, wall_on = _best_of(
+            lambda: measure_stream_sim(n, 1, SMI_FLOAT, on_cfg), repeats)
+    finally:
+        if sample_out is not None:
+            os.environ.pop("REPRO_TRACE_OUT", None)
+    return [{
+        "kind": "trace_stream", "elements": int(n), "hops": 1,
+        "buffers": "deep", "backend": "sequential", "shards": 1,
+        "cycles_off": int(cycles_off), "cycles_on": int(cycles_on),
+        "cycle_exact": cycles_off == cycles_on,
+        "wall_s_off": round(wall_off, 4),
+        "wall_s_on": round(wall_on, 4),
+        "trace_overhead_off": round(wall_off / max(wall_on, 1e-9), 4),
+    }]
 
 
 def _collect_run_stats(res, planner_stats, timing, ends):
@@ -453,6 +500,9 @@ def build_headline(points):
             headline[f"macro_ff_coverage_{p['hops']}hop"] = p["ff_coverage"]
             headline[f"macro_chain_len_{p['hops']}hop"] = \
                 p["macro_chain_len"]
+    for p in points:
+        if p["kind"] == "trace_stream":
+            headline["trace_overhead_off"] = p["trace_overhead_off"]
     headline.update(_perfmodel_residuals(points))
     return headline
 
@@ -528,9 +578,14 @@ def main(argv=None) -> int:
                   "in-process sharded backend", file=sys.stderr)
             backend = "sharded"
 
+    trace_n = (QUICK_TRACE_STREAM_ELEMENTS if args.quick
+               else TRACE_STREAM_ELEMENTS)
+    sample_out = Path(__file__).resolve().parent / "BENCH_trace_sample.json"
+
     points = run_stream_points(stream_sizes, repeats)
     points += run_collective_points(coll_sizes, repeats)
     points += run_macro_points(macro_sizes, repeats)
+    points += run_trace_points(trace_n, repeats, sample_out=sample_out)
     if shard_counts:
         points += run_shard_points(shard_n, repeats, backend=backend,
                                    shard_counts=shard_counts)
@@ -557,6 +612,13 @@ def main(argv=None) -> int:
                   f"speedup={p['speedup']:.2f}x")
             if p["timing"]:
                 print(shard_timing_summary(p["timing"]))
+            continue
+        if p["kind"] == "trace_stream":
+            print(f"{p['kind']:9s} hops={p['hops']} deep   "
+                  f"n={p['elements']:7d}  "
+                  f"cycles={p['cycles_on']:9d} exact={p['cycle_exact']}  "
+                  f"off={p['wall_s_off']:.3f}s on={p['wall_s_on']:.3f}s "
+                  f"ratio={p['trace_overhead_off']:.2f}")
             continue
         if p["kind"] == "macro_stream":
             planner = p["planner"]
@@ -600,6 +662,10 @@ def main(argv=None) -> int:
                       f"reference (n={p['elements']} hops={p['hops']}: "
                       f"{p['cycles_macro']} vs {p['cycles_cruise']} "
                       "cycles)", file=sys.stderr)
+            elif p["kind"] == "trace_stream":
+                print(f"ERROR: tracing changed the simulated cycle count "
+                      f"(n={p['elements']}: {p['cycles_on']} traced vs "
+                      f"{p['cycles_off']} untraced)", file=sys.stderr)
             else:
                 print(f"ERROR: burst mode diverged from the per-flit "
                       f"reference ({p['kind']} n={p['elements']}: "
@@ -630,7 +696,8 @@ def main(argv=None) -> int:
         # is cruise-vs-macro (tracked via the macro_speedup_* headline),
         # not the burst-vs-flit parity this gate judges.
         gated = [p for p in points
-                 if p["kind"] not in ("shard_stream", "macro_stream")
+                 if p["kind"] not in ("shard_stream", "macro_stream",
+                                      "trace_stream")
                  and p["wall_s_flit"] >= 0.025]
         slow = [p for p in gated if p["speedup"] < threshold(p)]
         if slow:

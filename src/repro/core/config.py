@@ -185,6 +185,29 @@ class HardwareConfig:
         values amortise coordinator round-trips further; the cap keeps
         global termination/deadlock checks (which need a barrier)
         regularly scheduled.
+    trace:
+        Cycle-domain tracing (see :mod:`repro.trace`): when True every
+        engine carries a flight recorder — a bounded ring buffer of
+        structured events (dispatches, FIFO stage/take, park/wake,
+        arbiter grants, link transfers, planner spans and macro-ff
+        guard aborts, shard epochs) plus stride-sampled metrics — and
+        runs export it as Perfetto/JSONL timelines (sharded backends
+        ship per-worker segments to the coordinator for a single
+        merged timeline). Off by default; the off path is one ``is
+        not None`` check per instrumented site, so cycles stay
+        bit-identical and wall clock stays within noise (the fuzz
+        suite and the smoke ``trace_overhead_off`` headline pin both).
+    trace_buffer_events:
+        Flight-recorder ring capacity in events (per engine). When
+        full the oldest events are overwritten (and counted), so long
+        runs keep the *last* window of history — what a post-mortem
+        (``DeadlockError`` dumps, guard aborts) actually wants.
+    trace_sample_stride:
+        Metrics sampling stride in cycles: time-series gauges (FIFO
+        occupancy, link utilization) keep at most one point per stride
+        bucket, snapped to the bucket boundary. Sampling is
+        emit-driven (the engine has no global tick), so a macro-cruise
+        bulk jump contributes at most one point however far it jumps.
     """
 
     clock_hz: float = DEFAULT_CLOCK_HZ
@@ -208,6 +231,9 @@ class HardwareConfig:
     shard_transport: str = "auto"
     shard_ring_bytes: int = 1 << 20
     shard_inner_rounds: int = 64
+    trace: bool = False
+    trace_buffer_events: int = 65536
+    trace_sample_stride: int = 4096
 
     #: Valid values of :attr:`backend`.
     BACKENDS = ("sequential", "sharded", "process")
@@ -269,6 +295,14 @@ class HardwareConfig:
         if self.shard_inner_rounds < 1:
             raise ConfigurationError(
                 f"shard_inner_rounds must be >= 1: {self.shard_inner_rounds}"
+            )
+        if self.trace_buffer_events < 1:
+            raise ConfigurationError(
+                f"trace_buffer_events must be >= 1: {self.trace_buffer_events}"
+            )
+        if self.trace_sample_stride < 1:
+            raise ConfigurationError(
+                f"trace_sample_stride must be >= 1: {self.trace_sample_stride}"
             )
 
     # ------------------------------------------------------------------

@@ -204,8 +204,15 @@ class SMIProgram:
         if self.config.backend != "sequential":
             from ..shard.backend import run_sharded
 
-            return run_sharded(self, max_cycles)
+            result = run_sharded(self, max_cycles)
+            self._maybe_export_trace(result)
+            return result
         engine = Engine()
+        # Flight recorder (None unless config.trace): the zero-overhead
+        # gate for every instrumented site in this engine's fabric.
+        from ..trace import recorder_from_config
+
+        engine.trace = recorder_from_config(self.config)
         routes = compute_routes(self.topology, self.routing_scheme)
         plan = self.build_plan()
         transport = build_transport(
@@ -241,7 +248,7 @@ class SMIProgram:
         returns = {
             (name, rank): proc.result for name, rank, proc in procs
         }
-        return ProgramResult(
+        result = ProgramResult(
             cycles=outcome.cycles,
             elapsed_us=self.config.cycles_to_us(outcome.cycles),
             reason=outcome.reason,
@@ -251,3 +258,30 @@ class SMIProgram:
             transport=transport,
             routes=routes,
         )
+        self._maybe_export_trace(result)
+        return result
+
+    def _maybe_export_trace(self, result: ProgramResult) -> None:
+        """Write the run's trace to ``$REPRO_TRACE_OUT`` when set.
+
+        The env var is the CLI's only channel into the result objects
+        (``--trace out.json`` plumbs it, mirroring ``--macro-cruise``):
+        ``.json`` gets Chrome/Perfetto trace-event JSON, ``.jsonl`` the
+        compact line form. Programmatic users skip the file and read
+        ``result.engine.trace`` (sequential) or
+        ``result.transport.trace`` (sharded, pre-merged) directly.
+        """
+        import os
+
+        out = os.environ.get("REPRO_TRACE_OUT", "")
+        if not out:
+            return
+        from ..trace import merge_segments, write_trace
+
+        merged = getattr(result.transport, "trace", None)
+        if merged is None:
+            recorder = getattr(result.engine, "trace", None)
+            if recorder is None:
+                return
+            merged = merge_segments([recorder.segment()])
+        write_trace(merged, out)

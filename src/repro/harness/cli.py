@@ -18,11 +18,17 @@ code edits; ``--shard-transport`` additionally picks the process
 backend's boundary transport (shared-memory rings vs the coordinator
 pipe), and ``--macro-cruise`` turns on the whole-program analytical
 fast-forward (see docs/ARCHITECTURE.md, "Macro-cruise fast-forward")
-on top of the chosen preset. The flags reach the measurement runners
-through the
+on top of the chosen preset. ``--trace out.json`` turns on the
+cycle-domain flight recorder (see docs/ARCHITECTURE.md,
+"Observability & tracing") and writes every simulated point's merged
+timeline to the given file — ``.json`` is Chrome/Perfetto trace-event
+format, ``.jsonl`` the compact line form. The flags reach the
+measurement runners through the
 ``REPRO_PRESET`` / ``REPRO_BACKEND`` / ``REPRO_SHARDS`` /
-``REPRO_SHARD_TRANSPORT`` / ``REPRO_MACRO_CRUISE`` environment
-variables (:func:`repro.harness.runners.default_config`).
+``REPRO_SHARD_TRANSPORT`` / ``REPRO_MACRO_CRUISE`` / ``REPRO_TRACE`` /
+``REPRO_TRACE_OUT`` environment
+variables (:func:`repro.harness.runners.default_config` and
+``SMIProgram.run``'s export hook).
 """
 
 from __future__ import annotations
@@ -153,6 +159,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="enable the whole-program analytical "
                              "fast-forward for the simulated points "
                              "(implies the full cruise gate chain)")
+    parser.add_argument("--trace", default=None, metavar="OUT",
+                        help="record a cycle-domain trace of the simulated "
+                             "points and write the merged timeline to OUT "
+                             "(.json = Chrome/Perfetto trace-event format, "
+                             ".jsonl = compact lines)")
     args = parser.parse_args(argv)
     if args.shards is not None and args.backend not in ("sharded",
                                                         "process"):
@@ -175,6 +186,13 @@ def main(argv: list[str] | None = None) -> int:
         # or back-to-back in-process invocations leak the setting into
         # runs that asked for it off.
         os.environ["REPRO_MACRO_CRUISE"] = "0"
+    if args.trace:
+        os.environ["REPRO_TRACE"] = "1"
+        os.environ["REPRO_TRACE_OUT"] = args.trace
+    else:
+        # Same two-way discipline as --macro-cruise above.
+        os.environ["REPRO_TRACE"] = "0"
+        os.environ["REPRO_TRACE_OUT"] = ""
     # The benchmark modules live in benchmarks/, importable from the repo
     # root; fall back gracefully when invoked from elsewhere.
     here = os.path.dirname(os.path.dirname(os.path.dirname(

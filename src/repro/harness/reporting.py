@@ -112,6 +112,15 @@ def planner_summary(stats) -> str:
             f"{stats.ff_cycles:,}cy"
             if stats.ff_windows else ""
         )
+        + (
+            # A disarmed plane looks identical to a never-tried one in
+            # the counters (all ff zeros); say "permanently refused" and
+            # why, so the zeros read as a verdict, not an absence.
+            f" | macro: DISARMED"
+            + (f" ({stats.ff_disarm_reason})"
+               if stats.ff_disarm_reason else "")
+            if getattr(stats, "ff_disarms", 0) else ""
+        )
     )
 
 
@@ -126,27 +135,32 @@ def shard_timing_summary(timings: list[dict]) -> str:
     hard the self-paced inner loop worked. Empty input (sequential or
     in-process runs) renders as a single note line; a shard whose entry
     is ``None``/empty (the worker aborted before its first epoch) gets a
-    placeholder row, and ``None`` phase values count as zero.
+    placeholder row. A *non-empty* entry must carry exactly the
+    canonical schema (:data:`repro.trace.TIMING_FIELDS` — the same one
+    the trace exporter's wall lanes consume): a malformed dict raises
+    ``ValueError`` loudly instead of being rendered as zeros.
     """
+    from ..trace import validate_timing
+
     if not timings:
         return "shard timing: n/a (no worker processes)"
     rows = []
     for i, t in enumerate(timings):
-        if not t:
+        if validate_timing(t, where=f"shard {i} timing") is None:
             # A worker that aborted before its first epoch reports no
             # timing dict (or an empty one); render a placeholder row
             # instead of crashing so the rest of the table survives.
             rows.append([f"shard {i}", "-", "-", "-", "-", "-"])
             continue
-        # ``or 0.0`` also covers explicit ``None`` phase values from a
-        # partially filled report.
+        # An aborted worker reports unmeasured phases as None: the
+        # schema validated above, so count those as zero here.
         rows.append([
             f"shard {i}",
-            f"{(t.get('compute_s') or 0.0) * 1e3:.1f}",
-            f"{(t.get('serialize_s') or 0.0) * 1e3:.1f}",
-            f"{(t.get('ipc_wait_s') or 0.0) * 1e3:.1f}",
-            t.get("inner_rounds") or 0,
-            t.get("outer_rounds") or 0,
+            f"{(t['compute_s'] or 0.0) * 1e3:.1f}",
+            f"{(t['serialize_s'] or 0.0) * 1e3:.1f}",
+            f"{(t['ipc_wait_s'] or 0.0) * 1e3:.1f}",
+            t["inner_rounds"] or 0,
+            t["outer_rounds"] or 0,
         ])
     return format_table(
         ["shard", "compute [ms]", "serialize [ms]", "ipc wait [ms]",

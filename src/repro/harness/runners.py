@@ -50,9 +50,12 @@ def default_config() -> HardwareConfig:
     ``REPRO_SHARD_TRANSPORT`` the process backend's boundary transport
     (``auto``/``shm``/``pipe``). ``REPRO_MACRO_CRUISE=1`` enables the
     macro-cruise whole-program fast-forward on top of whichever preset
-    was chosen (``0``/``""``/``false``/``no`` force it off). The ``smi-bench`` CLI sets these
+    was chosen (``0``/``""``/``false``/``no`` force it off), and
+    ``REPRO_TRACE=1`` the cycle-domain flight recorder (same falsy
+    set forces it off; ``REPRO_TRACE_OUT`` names the export file,
+    consumed by ``SMIProgram.run``). The ``smi-bench`` CLI sets these
     from ``--preset``/``--backend``/``--shard-transport``/
-    ``--macro-cruise``.
+    ``--macro-cruise``/``--trace``.
     """
     config = hardware_preset(os.environ.get("REPRO_PRESET", "noctua"))
     backend = os.environ.get("REPRO_BACKEND")
@@ -70,6 +73,9 @@ def default_config() -> HardwareConfig:
         # empty var must not silently keep the previous run's setting.
         config = config.with_(
             macro_cruise=macro not in ("", "0", "false", "no"))
+    trace = os.environ.get("REPRO_TRACE")
+    if trace is not None:
+        config = config.with_(trace=trace not in ("", "0", "false", "no"))
     return config
 
 
@@ -114,6 +120,7 @@ def _snapshot_planner_stats(transport, out: dict | None) -> None:
         ff_bulk_rounds=stats.ff_bulk_rounds,
         ff_jumps=stats.ff_jumps,
         ff_chain_hops=stats.ff_chain_hops,
+        ff_disarms=stats.ff_disarms,
         mean_ff_chain_len=round(stats.mean_ff_chain_len, 2),
         mean_ff_span=round(stats.mean_ff_span, 2),
     )

@@ -118,6 +118,14 @@ class Link:
         self._next_free = self.fifo.engine.cycle + self.cycles_per_packet
         self.packets += 1
         self.payload_bytes += packet.payload_bytes
+        trace = self.fifo.engine.trace
+        if trace is not None:
+            now = self.fifo.engine.cycle
+            trace.emit(now, "xfer", self.fifo.name, "xfer",
+                       dur=self.cycles_per_packet)
+            trace.sample(
+                f"link_util/{self.fifo.name}", now,
+                self.utilization(max(now, 1)))
 
     def stage_burst(self, packets: list[Packet], cycles: list[int],
                     verify_occupancy: bool = True) -> None:
@@ -150,6 +158,14 @@ class Link:
             if dt is not None:
                 pb += p.count * dt.size
         self.payload_bytes += pb
+        trace = self.fifo.engine.trace
+        if trace is not None:
+            trace.emit(cycles[0], "xfer", self.fifo.name, "xfer-burst",
+                       dur=cycles[-1] - cycles[0] + self.cycles_per_packet,
+                       args={"n": len(packets), "bytes": pb})
+            trace.sample(
+                f"link_util/{self.fifo.name}", cycles[-1],
+                self.utilization(max(cycles[-1], 1)))
 
     def take(self) -> Packet:
         return self.fifo.take()

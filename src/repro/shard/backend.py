@@ -62,6 +62,7 @@ from ..network.routing import compute_routes
 from ..simulation.engine import FOREVER, Engine
 from ..simulation.memory import BoardMemory
 from ..simulation.stats import PlannerStats, collect_planner_stats
+from ..trace import merge_segments, new_phase, recorder_from_config
 from ..transport.builder import build_transport
 from .partitioner import Partition, partition_topology, validate_cut
 from .proxy import BoundaryRx, BoundaryTx
@@ -76,12 +77,6 @@ from .wire import (
 )
 
 
-def _new_phase() -> dict:
-    """Fresh per-shard wall-clock breakdown (see ``FinalReport.timing``)."""
-    return {"compute_s": 0.0, "serialize_s": 0.0, "ipc_wait_s": 0.0,
-            "inner_rounds": 0, "outer_rounds": 0}
-
-
 @dataclass
 class FinalReport:
     """One shard's end-of-run payload (picklable for the process backend)."""
@@ -90,12 +85,19 @@ class FinalReport:
     returns: dict
     fifo_stats: dict
     planner_stats: PlannerStats
-    #: Per-phase wall-clock breakdown: ``compute_s`` (engine
-    #: ``run_until``), ``serialize_s`` (record codec + ring/pipe blob
-    #: work), ``ipc_wait_s`` (blocked on the control pipe), plus
-    #: ``inner_rounds`` (self-paced exchange iterations) and
-    #: ``outer_rounds`` (coordinator commands served).
-    timing: dict = field(default_factory=_new_phase)
+    #: Per-phase wall-clock breakdown in the canonical schema
+    #: (:data:`repro.trace.TIMING_FIELDS` — the trace exporter's wall
+    #: lanes and ``shard_timing_summary`` both consume it):
+    #: ``compute_s`` (engine ``run_until``), ``serialize_s`` (record
+    #: codec + ring/pipe blob work), ``ipc_wait_s`` (blocked on the
+    #: control pipe), plus ``inner_rounds`` (self-paced exchange
+    #: iterations) and ``outer_rounds`` (coordinator commands served).
+    timing: dict = field(default_factory=new_phase)
+    #: The shard's flight-recorder segment
+    #: (:meth:`repro.trace.TraceRecorder.segment`) when tracing is on,
+    #: else ``None``. Plain builtins only — it rides the same
+    #: control-pipe pickle as the rest of the report.
+    trace: dict | None = None
 
 
 class _ShardLinks:
@@ -261,6 +263,12 @@ class _ShardRuntime:
         # may run ahead of the (not yet known) global end cycle, and the
         # end-of-run stats must stay reconstructible exactly there.
         self.engine.stats_fold_limit = 0
+        # Shard-indexed flight recorder (None with tracing off). Every
+        # instrumented site reaches it through ``engine.trace``; the
+        # process backend forks *after* this, so each worker inherits
+        # its own recorder and ships the segment back in FinalReport.
+        self.engine.trace = recorder_from_config(program.config,
+                                                 shard=index)
         self.transport = build_transport(
             self.engine, plan, routes, program.config,
             validate_wire=program.validate_wire, shard_ranks=local,
@@ -304,7 +312,7 @@ class _ShardRuntime:
                 dst_rank, dst_iface = link.dst
                 consumer = self.transport.rank(dst_rank).ckr[dst_iface]
                 self.rx[key] = BoundaryRx(key, link, consumer.proc)
-        self.phase = _new_phase()
+        self.phase = new_phase()
         self.inner_limit = program.config.shard_inner_rounds
         # Process-backend wiring, attached by run_sharded before fork.
         self.links: _ShardLinks | None = None
@@ -321,10 +329,17 @@ class _ShardRuntime:
             self.tx[key].apply(acks[key])
         for key in sorted(ships):
             self.rx[key].apply(ships[key])
+        trace = self.engine.trace
+        if trace is not None:
+            trace.emit(self.engine.cycle, "epoch", "shard", "epoch",
+                       args={"bound": bound})
         t0 = perf_counter()
         reason, executed = self.engine.run_until(bound)
-        self.phase["compute_s"] += perf_counter() - t0
+        t1 = perf_counter()
+        self.phase["compute_s"] += t1 - t0
         self.phase["outer_rounds"] += 1
+        if trace is not None:
+            trace.wall_span("compute", t0, t1)
         memo: dict = {}
         out_ships = {
             key: self.tx[key].collect(self.engine, bound, memo)
@@ -361,6 +376,7 @@ class _ShardRuntime:
             engine.stats_fold_limit = watermark
         links = self.links
         phase = self.phase
+        trace = engine.trace
         total_executed = shipped = delivered = 0
         reason = "bound"
         bound = 0
@@ -377,6 +393,15 @@ class _ShardRuntime:
             phase["serialize_s"] += (t1 - t0) + (t3 - t2)
             phase["compute_s"] += t2 - t1
             phase["inner_rounds"] += 1
+            if trace is not None:
+                trace.wall_span("serialize", t0, t1)
+                trace.wall_span("compute", t1, t2)
+                trace.wall_span("serialize", t2, t3)
+                if bound > prev_bound:
+                    # One bound-update event per inner round that moved
+                    # the conservative bound (not per drained record).
+                    trace.emit(engine.cycle, "epoch", "shard", "bound",
+                               args={"bound": bound})
             delivered += applied
             total_executed += executed
             shipped += pushed
@@ -402,6 +427,10 @@ class _ShardRuntime:
             engine.stats_fold_limit = watermark
         links = self.links
         phase = self.phase
+        trace = engine.trace
+        if trace is not None:
+            trace.emit(engine.cycle, "drain", "shard", "drain",
+                       args={"end": end})
         t0 = perf_counter()
         applied = links.drain(self)
         t1 = perf_counter()
@@ -413,6 +442,10 @@ class _ShardRuntime:
         phase["compute_s"] += t2 - t1
         phase["inner_rounds"] += 1
         phase["outer_rounds"] += 1
+        if trace is not None:
+            trace.wall_span("serialize", t0, t1)
+            trace.wall_span("compute", t1, t2)
+            trace.wall_span("serialize", t2, t3)
         return EpochReport(
             reason=reason,
             executed=executed,
@@ -425,7 +458,14 @@ class _ShardRuntime:
         )
 
     def dump_blocked(self) -> list[str]:
-        return self.engine.blocked_process_dump()
+        lines = self.engine.blocked_process_dump()
+        trace = self.engine.trace
+        if trace is not None and len(trace):
+            # Same post-mortem the sequential engine's DeadlockError
+            # carries: the flight recorder's tail, per shard.
+            lines.append(f"shard {self.index} last trace events:")
+            lines.extend(trace.tail_lines())
+        return lines
 
     def finish(self, end: int) -> FinalReport:
         """Final stats snapshot, swept to the global end cycle.
@@ -457,12 +497,14 @@ class _ShardRuntime:
             key: (round(value, 6) if isinstance(value, float) else value)
             for key, value in self.phase.items()
         }
+        trace = self.engine.trace
         return FinalReport(
             stores=dict(self.stores),
             returns=returns,
             fifo_stats=fifo_stats,
             planner_stats=collect_planner_stats(self.transport),
             timing=timing,
+            trace=trace.segment() if trace is not None else None,
         )
 
 
@@ -516,23 +558,33 @@ def _worker_main(conn, runtime: _ShardRuntime) -> None:
     ``("finish", end)`` as before.
     """
     phase = runtime.phase
+    trace = runtime.engine.trace
     try:
         while True:
             t0 = perf_counter()
             msg = conn.recv()
-            phase["ipc_wait_s"] += perf_counter() - t0
+            t1 = perf_counter()
+            phase["ipc_wait_s"] += t1 - t0
+            if trace is not None:
+                trace.wall_span("ipc_wait", t0, t1)
             cmd = msg[0]
             try:
                 if cmd == "epoch":
                     t0 = perf_counter()
                     ships, acks = decode_exchange(msg[2],
                                                   runtime.wire_keys_by_id)
-                    phase["serialize_s"] += perf_counter() - t0
+                    t1 = perf_counter()
+                    phase["serialize_s"] += t1 - t0
+                    if trace is not None:
+                        trace.wall_span("serialize", t0, t1)
                     report = runtime.epoch(msg[1], ships, acks, msg[3])
                     t0 = perf_counter()
                     blob = encode_exchange(report.ships, report.acks,
                                            runtime.wire_key_ids)
-                    phase["serialize_s"] += perf_counter() - t0
+                    t1 = perf_counter()
+                    phase["serialize_s"] += t1 - t0
+                    if trace is not None:
+                        trace.wall_span("serialize", t0, t1)
                     report.ships = {}
                     report.acks = {}
                     payload = (report, blob)
@@ -671,16 +723,24 @@ class ShardedTransportView:
     :func:`repro.simulation.stats.collect_planner_stats`;
     ``shard_timing`` is the per-shard wall-clock phase breakdown
     (one ``FinalReport.timing`` dict per shard, in shard order).
+    ``trace_segments`` holds each shard's flight-recorder segment and
+    ``trace`` the coordinator-merged single timeline
+    (:func:`repro.trace.merge_segments`) — both ``None``/empty with
+    tracing off.
     """
 
     def __init__(self, config, routes, ranks: dict,
                  planner_stats: PlannerStats,
-                 shard_timing: list | None = None) -> None:
+                 shard_timing: list | None = None,
+                 trace_segments: list | None = None) -> None:
         self.config = config
         self.routes = routes
         self.ranks = ranks
         self.planner_stats_snapshot = planner_stats
         self.shard_timing = shard_timing or []
+        self.trace_segments = trace_segments or []
+        self.trace = (merge_segments(self.trace_segments)
+                      if self.trace_segments else None)
 
     def rank(self, rank: int):
         return self.ranks[rank]
@@ -777,12 +837,15 @@ def run_sharded(program: SMIProgram,
     fifo_stats: dict = {}
     planner_stats = PlannerStats()
     shard_timing: list = []
+    trace_segments: list = []
     for final in finals:
         stores.update(final.stores)
         returns.update(final.returns)
         fifo_stats.update(final.fifo_stats)
         planner_stats = planner_stats.merge(final.planner_stats)
         shard_timing.append(final.timing)
+        if final.trace is not None:
+            trace_segments.append(final.trace)
     merged_ranks: dict = {}
     if not use_processes:
         for rt in runtimes:
@@ -795,6 +858,7 @@ def run_sharded(program: SMIProgram,
         returns=returns,
         engine=ShardedEngineView(fifo_stats, outcome.cycles),
         transport=ShardedTransportView(config, routes, merged_ranks,
-                                       planner_stats, shard_timing),
+                                       planner_stats, shard_timing,
+                                       trace_segments),
         routes=routes,
     )

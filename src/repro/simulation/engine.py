@@ -59,6 +59,22 @@ MAX_STEPS_PER_CYCLE = 10_000
 FOREVER = 1 << 62
 
 
+def _cond_desc(conds) -> str:
+    """Compact wait-condition label for trace events (tracing-on only)."""
+    parts = []
+    for cond in conds:
+        kind = type(cond)
+        if kind is CanPop:
+            parts.append(f"pop:{cond.fifo.name}")
+        elif kind is CanPush:
+            parts.append(f"push:{cond.fifo.name}")
+        elif kind is SimEvent:
+            parts.append(f"event:{cond.name}")
+        else:  # pragma: no cover - unreachable for valid conditions
+            parts.append(repr(cond))
+    return "|".join(parts)
+
+
 class Process:
     """A running simulated module (wraps a generator)."""
 
@@ -139,12 +155,25 @@ class Engine:
         # clock itself still moves heap-top to heap-top.
         self.ff_windows = 0
         self.ff_cycles = 0
+        # Flight recorder (repro.trace.TraceRecorder) or None. None is
+        # the zero-overhead-off contract: every instrumented site in
+        # the engine, FIFOs, links, arbiter and planner guards its emit
+        # behind one `is not None` check of this attribute, so with
+        # tracing off no event is ever built and cycles/wall-clock are
+        # indistinguishable from an uninstrumented build.
+        self.trace = None
 
     def note_fast_forward(self, span: int) -> None:
         """Record one analytically fast-forwarded window of ``span`` cycles."""
         if span > 0:
             self.ff_windows += 1
             self.ff_cycles += span
+            if self.trace is not None:
+                self.trace.emit(self.cycle, "ff", "engine", "fast-forward",
+                                dur=span)
+                self.trace.sample(
+                    "planner/ff_coverage", self.cycle,
+                    round(self.ff_cycles / max(self.cycle, 1), 4))
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -203,10 +232,14 @@ class Engine:
         if not waiters:
             return
         target = self.cycle + delay
+        trace = self.trace
         for proc, token in waiters:
             if not proc.finished and token == proc._token:
                 proc._waiting_on = None
                 self._schedule(proc, target)
+                if trace is not None:
+                    trace.emit(self.cycle, "wake", proc.name, "wake",
+                               args={"at": target} if delay else None)
         waiters.clear()
 
     def set_event(self, event: SimEvent) -> None:
@@ -295,6 +328,9 @@ class Engine:
         """
         proc._waiting_on = None
         self._schedule(proc, max(cycle, self.cycle))
+        if self.trace is not None:
+            self.trace.emit(self.cycle, "wake", proc.name, "preempt",
+                            args={"at": max(cycle, self.cycle)})
 
     # ------------------------------------------------------------------
     # Condition dispatch
@@ -322,6 +358,9 @@ class Engine:
             if kind is CanPop or kind is CanPush:
                 cond.fifo._arm_waiter_wake(cond)
         proc._waiting_on = conds if len(conds) > 1 else conds[0]
+        if self.trace is not None:
+            self.trace.emit(self.cycle, "park", proc.name, "park",
+                            args={"on": _cond_desc(conds)})
 
     def _dispatch(self, proc: Process, cond) -> None:
         """Handle the condition a process yielded."""
@@ -355,6 +394,8 @@ class Engine:
         else:
             proc._last_step_cycle = self.cycle
             proc._steps_this_cycle = 1
+        if self.trace is not None:
+            self.trace.emit(self.cycle, "dispatch", proc.name, "step")
         self._current_proc = proc
         try:
             cond = proc.gen.send(None)
@@ -527,10 +568,14 @@ class Engine:
     def _deadlock(self) -> DeadlockError:
         blocked = self.blocked_process_dump()
         detail = "\n".join(blocked) if blocked else "  (no blocked processes?)"
+        history = ""
+        if self.trace is not None and len(self.trace):
+            tail = "\n".join(self.trace.tail_lines())
+            history = f"\nLast trace events before the deadlock:\n{tail}"
         return DeadlockError(
             f"simulation deadlocked at cycle {self.cycle}: "
             f"{self._live_workers} worker process(es) can never run again.\n"
-            f"Blocked processes:\n{detail}\n"
+            f"Blocked processes:\n{detail}{history}\n"
             "Hint: SMI sends are non-local (§3.3) — check for cyclic "
             "send/receive dependencies or undersized channel buffers."
         )

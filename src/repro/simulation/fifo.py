@@ -434,6 +434,11 @@ class Fifo:
         self._occ_stages.append(now)
         if len(self._occ_stages) > _OCC_FOLD_LIMIT:
             self._occ_fold()
+        trace = self.engine.trace
+        if trace is not None:
+            trace.emit(now, "stage", self.name, "stage")
+            trace.sample(f"fifo_occ/{self.name}", now,
+                         len(self._visible) + len(self._staged))
 
     def take(self) -> Any:
         """Remove and return the oldest visible item (must be readable)."""
@@ -450,6 +455,11 @@ class Fifo:
         self._occ_takes.append(now)
         if len(self._occ_takes) > _OCC_FOLD_LIMIT:
             self._occ_fold()
+        trace = self.engine.trace
+        if trace is not None:
+            trace.emit(now, "take", self.name, "take")
+            trace.sample(f"fifo_occ/{self.name}", now,
+                         len(self._visible) + len(self._staged))
         # Space freed: wake any blocked producers (registered flag -> next
         # cycle, handled by the engine's wake scheduling).
         if self.can_push.waiters:
@@ -611,6 +621,12 @@ class Fifo:
             self.first_push_cycle = cycles[0]
         if k > 1:
             self.burst_stats.record(k)
+        trace = self.engine.trace
+        if trace is not None:
+            trace.emit(cycles[0], "stage", self.name, "stage-burst",
+                       dur=cycles[-1] - cycles[0], args={"n": k})
+            trace.sample(f"fifo_occ/{self.name}", cycles[-1],
+                         len(self._visible) + len(self._staged))
 
     def take_burst(self, cycles: Sequence[int], collect: bool = True) -> list:
         """Remove the ``len(cycles)`` oldest items as if taken one per
@@ -738,6 +754,12 @@ class Fifo:
             self._occ_fold()
         if k > 1:
             self.burst_stats.record(k)
+        trace = self.engine.trace
+        if trace is not None:
+            trace.emit(cycles[0], "take", self.name, "take-burst",
+                       dur=cycles[-1] - cycles[0], args={"n": k})
+            trace.sample(f"fifo_occ/{self.name}", cycles[-1],
+                         len(self._visible) + len(self._staged))
         return out
 
     # ------------------------------------------------------------------

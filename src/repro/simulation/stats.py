@@ -234,6 +234,13 @@ class PlannerStats:
     ``mean_ff_chain_len`` reports how deep the chains that actually
     fast-forwarded were (a 4-hop deep stream resolves as one chain of 8
     relay sessions: CKS and CKR at every hop).
+
+    ``ff_disarms`` counts permanent resolve refusals (each sets
+    ``SupplyPlanner.ff_disarmed``; at most one per planner, so the
+    fleet-wide sum reads "how many shards disarmed"), and
+    ``ff_disarm_reason`` carries the resolver's reason string — merged
+    first-non-empty-wins so reports can say *why* a plane permanently
+    refused instead of showing zero ff counters as "never tried".
     """
 
     attempts: int = 0
@@ -255,6 +262,8 @@ class PlannerStats:
     ff_bulk_rounds: int = 0
     ff_jumps: int = 0
     ff_chain_hops: int = 0
+    ff_disarms: int = 0
+    ff_disarm_reason: str = ""
 
     @property
     def hit_rate(self) -> float:
@@ -317,6 +326,8 @@ class PlannerStats:
             self.ff_bulk_rounds + other.ff_bulk_rounds,
             self.ff_jumps + other.ff_jumps,
             self.ff_chain_hops + other.ff_chain_hops,
+            self.ff_disarms + other.ff_disarms,
+            self.ff_disarm_reason or other.ff_disarm_reason,
         )
 
 

@@ -1,0 +1,68 @@
+"""Stride-sampled time-series metrics keyed on the simulated cycle.
+
+The simulator has no global tick to hang periodic sampling on — the
+engine is event-skipping, and macro-cruise fast-forwards jump the clock
+by millions of cycles in one event. So sampling is **emit-driven**: an
+instrumented site reports ``(name, cycle, value)`` whenever the value
+changes, and the registry keeps at most one point per ``stride``-cycle
+bucket, snapped to the bucket's start boundary, with last-write-wins
+inside a bucket. That bounds the series two ways at once:
+
+* per bucket: one stored point, however many emits land in it;
+* per bulk clock jump: a jump from cycle ``a`` to ``a + 10**7`` creates
+  at most one new point (at the destination's bucket boundary), never
+  ``10**7 / stride`` interpolated ones.
+
+Snapshots are plain ``{name: [(cycle, value), ...]}`` dicts, and
+:func:`merge_snapshots` folds them the way ``PlannerStats.merge`` folds
+counters — so per-shard registries survive pickling, bulk jumps, and
+coordinator-side aggregation without special cases.
+"""
+
+from __future__ import annotations
+
+
+class MetricsRegistry:
+    """Named time-series gauges/counters bucketed on a cycle stride."""
+
+    __slots__ = ("stride", "series")
+
+    def __init__(self, stride: int = 4096) -> None:
+        if stride < 1:
+            raise ValueError("trace sample stride must be >= 1")
+        self.stride = stride
+        self.series: dict[str, list] = {}
+
+    def sample(self, name: str, cycle: int, value: float) -> None:
+        """Record ``value`` at ``cycle``, keeping one point per bucket."""
+        boundary = cycle - cycle % self.stride
+        ser = self.series.get(name)
+        if ser is None:
+            self.series[name] = [(boundary, value)]
+        elif ser[-1][0] < boundary:
+            ser.append((boundary, value))
+        else:
+            # Same (or an earlier, after a merge) bucket: the bucket's
+            # value is the last one observed in it.
+            ser[-1] = (ser[-1][0], value)
+
+    def snapshot(self) -> dict:
+        """A picklable copy: ``{name: [(bucket_cycle, value), ...]}``."""
+        return {name: list(pts) for name, pts in self.series.items()}
+
+
+def merge_snapshots(a: dict, b: dict) -> dict:
+    """Fold two snapshots: union of names, per-name bucket union.
+
+    Buckets present in both take ``b``'s value (the later fold wins,
+    matching ``PlannerStats.merge``'s accumulate-into semantics).
+    """
+    out = {name: list(pts) for name, pts in a.items()}
+    for name, pts in b.items():
+        if name not in out:
+            out[name] = list(pts)
+            continue
+        by_bucket = dict(out[name])
+        by_bucket.update(dict(pts))
+        out[name] = sorted(by_bucket.items())
+    return out

@@ -225,6 +225,9 @@ class PollingArbiter:
                 if reads < burst and fifo.readable:
                     pkt = fifo.take()
                     self.record_accept(engine.cycle)
+                    if engine.trace is not None:
+                        engine.trace.emit(engine.cycle, "grant", fifo.name,
+                                          "grant", args={"input": self._idx})
                     yield from forward(pkt)
                     reads += 1
                     if reads < burst:

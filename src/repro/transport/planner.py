@@ -1594,10 +1594,14 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
         overlap refusal that falls back to per-packet replication.
 
         Returns ``(chains, permanent)``: ``chains`` is the resolved
-        list or ``None``; ``permanent`` marks refusals no later sweep
-        can heal (a compiled pattern's shape — its input/target counts —
-        is fixed for the whole train), which disarms probing for the
-        rest of the train instead of re-fingerprinting every sweep.
+        list or ``None``; ``permanent`` is falsy for refusals a later
+        sweep can heal and a short reason string for ones it never can
+        (a compiled pattern's shape — its input/target counts — is
+        fixed for the whole train), which disarms probing for the rest
+        of the train instead of re-fingerprinting every sweep. The
+        reason string survives on ``planner.ff_disarm_reason`` /
+        ``PlannerStats.ff_disarm_reason`` so reports can say *why* the
+        program refused instead of showing silent zero counters.
         """
         sends = [la for la in lanes_used.values() if la.is_send]
         recvs = {}
@@ -1610,13 +1614,14 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
         for sess in order:
             tpi = sess.pattern.takes_per_input
             if len(tpi) != 1 or len(sess.pattern.target_fifos) != 1:
-                return None, True  # pattern shape fixed: never a relay
+                # Pattern shape fixed for the train: never a relay.
+                return None, "pattern shape (multi-input/target session)"
             if sess.done:
                 return None, False
             j, tpr = tpi[0]
             fin = sess.arb.inputs[j]
             if id(fin) in by_input:
-                return None, True  # two sessions on one input: overlap
+                return None, "overlap (two sessions on one input)"
             by_input[id(fin)] = (sess, j, tpr)
         relay = planner.relay_fifos
         chains = []
@@ -1635,7 +1640,7 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
                     return None, False  # consumer not joined (yet)
                 sess, j, tpr = ent
                 if id(sess) in taken:
-                    return None, True  # chains share a session: overlap
+                    return None, "overlap (chains share a session)"
                 taken.add(id(sess))
                 if len(sess.stage_cursors) != 1 \
                         or sess.snap_iter[j] is not None:
@@ -1652,12 +1657,12 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
                 break
             if lr is None:
                 if id(tgt) in claimed_eps:
-                    return None, True  # two chains, one endpoint: overlap
+                    return None, "overlap (two chains on one endpoint)"
                 if id(tgt) in planner.boundary_fifos:
                     # Cross-shard boundary: the consumer lives in another
                     # shard's planner, so this walk can never reach a
                     # recv lane — a permanent refusal.
-                    return None, True
+                    return None, "cross-shard boundary chain"
                 return None, False  # recv lane not registered (yet)
             claimed_eps.add(id(tgt))
             chan_r = lr.chan
@@ -1808,6 +1813,19 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
                 k += 1
         return ok
 
+    def ff_abort(guard, hop=-1):
+        """Report one failed guard of the analytic jump's proof.
+
+        Trace-only: emits an ``abort`` event carrying the guard name and
+        the chain hop it concerns (``-1`` for chain-wide guards), then
+        returns False so callers fall back to per-packet replication —
+        exactly what an unguarded ``return False`` did before.
+        """
+        if engine.trace is not None:
+            engine.trace.emit(engine.cycle, "abort", "planner", "ff-abort",
+                              args={"guard": guard, "hop": hop})
+        return False
+
     def ff_apply(chain, lists, dT, dn, lensA, lensB, lensC):
         """Verify the period is a provable Δ-shift and bulk-apply R of
         them along the whole relay chain. Returns True when the jump
@@ -1901,7 +1919,7 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
         for k, (sess, jc, _tpr, _cur) in enumerate(hops):
             e -= epp * sess.avail[jc]
             if e < g0 or _ff_veto('conservation', k):
-                return False
+                return ff_abort('conservation', k)
         if e != g0 + epp * pend_r:
             return False
         # Standing (pre-window, frozen) items must look like the stream.
@@ -1920,9 +1938,9 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
         rels_s = ls.rels
         for idx in range(ls.rel_ptr - ppp, len(rels_s) - ppp):
             if rels_s[idx + ppp] != rels_s[idx] + dT:
-                return False
+                return ff_abort('rel-lattice')
         if _ff_veto('rel-lattice'):
-            return False
+            return ff_abort('rel-lattice')
         # ---- every externality bounds R (in periods); the closed-form
         # horizon/budget bounds are the min over the whole chain. -------
         R = (len(ls.values) - ls.i) // dE - 1  # message end: leave the
@@ -1937,20 +1955,20 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
         if r_b < R:
             R = r_b
         if _ff_veto('budget'):
-            return False
+            return ff_abort('budget')
         for k, ((sess, jc, tpr, _cur), rpd) in enumerate(zip(hops, rnds)):
             ob = ff_obs_bound(sess, jc)
             if ob is not None and ob // rpd < R:
                 R = ob // rpd
             if R < 2 or _ff_veto('horizon', k):
-                return False
+                return ff_abort('horizon', k)
             st = ff_standing_rounds(sess, jc, tpr, R * rpd)
             if st // rpd < R:
                 R = st // rpd
             if _ff_veto('standing', k):
-                return False
+                return ff_abort('standing', k)
         if R < 2:
-            return False
+            return ff_abort('standing')
         # Standing recv-lane items must continue the readiness lattice
         # one-for-one against the items the last observed period
         # consumed: the lane take rule *writes* ``cur = max(cur,
@@ -1970,7 +1988,7 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
         if cap // ppp < R:
             R = cap // ppp
         if _ff_veto('recv-lattice'):
-            return False
+            return ff_abort('recv-lattice')
         # Cursor release backlogs only *floor* the pattern's stage
         # cycles (frozen values are older, hence smaller — but each
         # consumed release must still free its slot in time, at every
@@ -1989,9 +2007,9 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
             if cap // ppp < R:
                 R = cap // ppp
             if _ff_veto('slots', k):
-                return False
+                return ff_abort('slots', k)
         if R < 2:
-            return False
+            return ff_abort('slots')
         # ---- apply: R periods in closed form ---------------------------
         e_tail0 = g0 + R * dE            # first element left in-chain
         dt_np = ls.chan.dtype.np_dtype
@@ -2100,6 +2118,14 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
                     # (chain closure, futility-backoff override).
                     ff_dead = True
                     planner.ff_disarmed = True
+                    planner.ff_disarm_reason = permanent
+                    stats = origin.arb.planner_stats
+                    stats.ff_disarms += 1
+                    stats.ff_disarm_reason = permanent
+                    if engine.trace is not None:
+                        engine.trace.emit(
+                            engine.cycle, "disarm", "planner", "ff-disarm",
+                            args={"reason": permanent})
                 return False
             ff_shape = shape
             ff_armed = True
@@ -2276,6 +2302,13 @@ def replicate_train(planner, ck, engine, start, memo, cursors, stamp):
                 f"replication train span mismatch on {sess.ck!r}: "
                 f"committed {res.end - sess.start} cycles over "
                 f"{sess.rounds} round(s) of Δ={pattern.delta}")
+        if engine.trace is not None:
+            track = sess.ck.proc.name if sess.ck.proc is not None \
+                else "planner"
+            engine.trace.emit(
+                sess.start, "span", track, "train",
+                dur=res.end - sess.start,
+                args={"rounds": sess.rounds, "takes": sess.takes})
         arb.packets_accepted += sess.takes
         hist = arb.accept_hist
         if hist is not None:
@@ -2412,6 +2445,11 @@ class SupplyPlanner:
         #: closure, no checkpoint fingerprinting, and the replication
         #: futility backoff behaves exactly as with macro off.
         self.ff_disarmed = False
+        #: Why: the resolver's permanent-refusal reason string ("" until
+        #: disarmed) — surfaced by ``reporting.planner_summary`` so a
+        #: disarmed run reads "permanently refused (<reason>)" instead
+        #: of a silent row of zero ff counters.
+        self.ff_disarm_reason = ""
         self._stamp = 0  # plan-call counter (cursor refresh generation)
         self._extra_results: list = []  # peer-session train results
         self._cascade_origin = None     # CK whose event we are inside
@@ -2536,6 +2574,13 @@ class SupplyPlanner:
             stats.extensions += 1
         else:
             stats.coplans += 1
+        trace = arb.inputs[0].engine.trace
+        if trace is not None:
+            trace.emit(start, "span", "planner", kind,
+                       dur=res.end - start, args={"takes": res.takes})
+            if stats.attempts:
+                trace.sample("planner/hit_rate", res.end,
+                             round(stats.windows / stats.attempts, 4))
         if self.replication:
             self._train_stuck.clear()  # new supply/slots: trains may move
             if res.trace is not None or arb._pattern is not None \

@@ -33,6 +33,7 @@ def tiny_report(run_smoke):
     points = run_smoke.run_stream_points((256,), repeats=1)
     points += run_smoke.run_collective_points((16,), repeats=1)
     points += run_smoke.run_macro_points((256,), repeats=1)
+    points += run_smoke.run_trace_points(256, repeats=1)
     # The shard sweep on the cheap in-process backend: same schema as
     # the CI run's forked-worker sweep.
     points += run_smoke.run_shard_points(256, repeats=1, backend="sharded",
@@ -95,7 +96,8 @@ def test_per_point_fields_match_readme(tiny_report):
 
 def test_planner_counters_match_readme(tiny_report):
     documented = _documented_fields("### `planner` counters")
-    emitted = {key for p in tiny_report["points"] for key in p["planner"]}
+    emitted = {key for p in tiny_report["points"]
+               for key in p.get("planner", ())}
     assert emitted == documented, (
         f"planner counter drift — emitted-not-documented: "
         f"{sorted(emitted - documented)}, documented-not-emitted: "

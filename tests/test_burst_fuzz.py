@@ -68,6 +68,13 @@ PLANES = {
 #: sharded epoch synchronisation too.
 AMBIENT_MACRO = os.environ.get("REPRO_MACRO_CRUISE", "") == "1"
 
+#: Same ambient pattern for the flight recorder (``REPRO_TRACE=1``):
+#: tracing folds into every plane's base config, and the sweep's
+#: cross-plane cycle/count identity then *is* the zero-overhead
+#: contract — a recorder that changed any simulated outcome would
+#: diverge a plane and fail the run.
+AMBIENT_TRACE = os.environ.get("REPRO_TRACE", "") == "1"
+
 
 def _gen_cut(rng: random.Random, num_ranks: int = 8) -> list[list[int]]:
     """A random contiguous split of the bus ranks into 2-4 shards.
@@ -331,6 +338,7 @@ def _assert_planes_agree(case: dict) -> None:
         endpoint_fifo_depth=case["endpoint_fifo_depth"],
         read_burst=case["read_burst"],
         macro_cruise=AMBIENT_MACRO,
+        trace=AMBIENT_TRACE,
     )
     ref = None
     for plane, overrides in PLANES.items():
@@ -417,6 +425,7 @@ def _assert_process_plane_agrees(case: dict, transport: str) -> None:
         endpoint_fifo_depth=case["endpoint_fifo_depth"],
         read_burst=case["read_burst"],
         macro_cruise=AMBIENT_MACRO,
+        trace=AMBIENT_TRACE,
     )
     partition = case["cut"]
     ref_marks, ref_counts = _run_case(case, base)

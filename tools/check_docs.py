@@ -41,6 +41,7 @@ REQUIRED_ARCHITECTURE_HEADINGS = (
     "Macro-cruise fast-forward",
     "Sharded execution & time sync",
     "Boundary wire format & shared-memory rings",
+    "Observability & tracing",
     "Invariants the test suite pins",
 )
 
